@@ -1,0 +1,37 @@
+# Convenience targets for the netcache-go repository. Stdlib-only; any
+# recent Go toolchain (>= 1.22) works.
+
+GO ?= go
+
+.PHONY: all test race bench experiments examples fuzz vet clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/netcache-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/skewbalance
+	$(GO) run ./examples/dynamic
+	$(GO) run ./examples/multirack
+	$(GO) run ./examples/webcache
+
+fuzz:
+	$(GO) test -fuzz FuzzDecode$$ -fuzztime 30s ./internal/netproto
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,285 @@
+package netcache
+
+// Ablation benchmarks for the design decisions DESIGN.md §5 calls out. Each
+// compares the paper's choice against the naive alternative and reports the
+// difference as custom metrics.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"netcache/internal/cachemem"
+	"netcache/internal/dataplane"
+	"netcache/internal/harness"
+	"netcache/internal/netproto"
+	"netcache/internal/sketch"
+	"netcache/internal/workload"
+)
+
+// BenchmarkAblationLookupDesign — Fig. 6b's one-lookup + (bitmap, index)
+// action versus the naive one-lookup-table-per-value-array design. The
+// naive layout replicates the 64K×16-byte match key eight times; on the
+// modeled chip it does not even compile (no stage sequence can hold eight
+// full-size exact-match tables next to the value arrays), which is the
+// paper's resource argument made concrete.
+func BenchmarkAblationLookupDesign(b *testing.B) {
+	keyCost := func(tables, actionWords int) int {
+		// Per-entry cost charged by the dataplane model: two 64-bit
+		// match containers + action words + overhead, times 64K
+		// entries, times the number of tables.
+		per := 16 + actionWords*8 + 8
+		return tables * 65536 * per
+	}
+	oursSRAM := keyCost(1, 1)
+	naiveSRAM := keyCost(8, 1)
+
+	var naiveCompiles bool
+	for i := 0; i < b.N; i++ {
+		naiveCompiles = naivePerArrayProgramCompiles()
+	}
+	if naiveCompiles {
+		b.Fatal("naive per-array lookup should not fit the chip")
+	}
+	b.ReportMetric(float64(oursSRAM), "bitmap_design_sram_bytes")
+	b.ReportMetric(float64(naiveSRAM), "per_array_design_sram_bytes")
+	b.ReportMetric(float64(naiveSRAM)/float64(oursSRAM), "sram_ratio")
+	b.ReportMetric(0, "naive_compiles")
+}
+
+// naivePerArrayProgramCompiles tries to place eight full-size lookup tables
+// (one per value array, each with its own index action) plus the eight
+// value arrays onto the chip.
+func naivePerArrayProgramCompiles() bool {
+	p := dataplane.NewProgram("naive-netcache")
+	hi := p.Field("key_hi", 64)
+	lo := p.Field("key_lo", 64)
+	var prev *dataplane.Table
+	for i := 0; i < 8; i++ {
+		reg := p.Register(dataplane.RegisterSpec{
+			Name: fmt.Sprintf("value_%d", i), Gress: dataplane.Egress,
+			Slots: 65536, SlotBits: 128,
+		})
+		spec := dataplane.TableSpec{
+			Name:        fmt.Sprintf("lookup_%d", i),
+			Gress:       dataplane.Egress,
+			MatchFields: []dataplane.FieldID{hi, lo},
+			Kind:        dataplane.MatchExact,
+			Size:        65536,
+			// One index per table — the per-array design's action data.
+			ActionDataWords: 1,
+			Registers:       []*dataplane.Register{reg},
+		}
+		if prev != nil {
+			spec.After = []*dataplane.Table{prev}
+		}
+		tab := p.TableBuild(spec)
+		tab.Action("read", func(ctx *dataplane.Ctx, data []uint64) {
+			ctx.RegAppendBytes(reg, int(data[0]), 16)
+		})
+		prev = tab
+	}
+	p.SetParser(func(raw []byte, ctx *dataplane.Ctx) error { return nil })
+	p.SetDeparser(func(ctx *dataplane.Ctx, out []byte) []byte { return out })
+	_, _, err := dataplane.Compile(p, dataplane.TofinoLike())
+	return err == nil
+}
+
+// BenchmarkAblationAllocatorPolicy — First Fit (Algorithm 2) vs Best Fit:
+// occupancy at first allocation failure and time per churn operation, under
+// mixed-size insert/evict churn.
+func BenchmarkAblationAllocatorPolicy(b *testing.B) {
+	run := func(pol cachemem.Policy) (occupancy float64) {
+		a, _ := cachemem.New(cachemem.Config{Arrays: 8, Indexes: 1024, UnitBytes: 16, Policy: pol})
+		rng := rand.New(rand.NewSource(7))
+		key := func(i int) netproto.Key {
+			var k netproto.Key
+			binary.BigEndian.PutUint32(k[:4], uint32(i))
+			return k
+		}
+		live := make([]int, 0, 4096)
+		next := 0
+		for i := 0; ; i++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				j := rng.Intn(len(live))
+				a.Evict(key(live[j]))
+				live[j] = live[len(live)-1]
+				live = live[:len(live)-1]
+				continue
+			}
+			if _, err := a.Insert(key(next), 16+rng.Intn(113)); err != nil {
+				return a.Occupancy()
+			}
+			live = append(live, next)
+			next++
+		}
+	}
+	var ff, bf float64
+	for i := 0; i < b.N; i++ {
+		ff = run(cachemem.FirstFit)
+		bf = run(cachemem.BestFit)
+	}
+	b.ReportMetric(100*ff, "first_fit_occupancy_pct")
+	b.ReportMetric(100*bf, "best_fit_occupancy_pct")
+}
+
+// BenchmarkAblationSampling — the statistics sampling front-end vs counting
+// every query: with 16-bit counters and a heavy head, unsampled counting
+// saturates the hottest Count-Min slots (losing the ability to rank the
+// head), while sampling keeps them in range at a fraction of the update
+// work (§4.4.3).
+func BenchmarkAblationSampling(b *testing.B) {
+	const queries = 3_000_000
+	zipf, _ := workload.NewZipf(100_000, 0.99)
+
+	run := func(rate float64) (saturated int, updates int) {
+		cms := sketch.NewCountMin(4, 1<<16, 16)
+		smp := sketch.NewSampler(rate, 11)
+		rng := rand.New(rand.NewSource(3))
+		var key [8]byte
+		for q := 0; q < queries; q++ {
+			if !smp.Sample() {
+				continue
+			}
+			binary.BigEndian.PutUint64(key[:], uint64(zipf.SampleRank(rng)))
+			cms.Add(key[:])
+			updates++
+		}
+		for rank := 0; rank < 64; rank++ {
+			binary.BigEndian.PutUint64(key[:], uint64(rank))
+			if cms.Estimate(key[:]) >= 0xFFFF {
+				saturated++
+			}
+		}
+		return
+	}
+	var satFull, updFull, satSampled, updSampled int
+	for i := 0; i < b.N; i++ {
+		satFull, updFull = run(1.0)
+		satSampled, updSampled = run(0.01)
+	}
+	if satFull == 0 {
+		b.Fatal("unsampled head should saturate 16-bit counters at this load")
+	}
+	if satSampled > 0 {
+		b.Fatal("1% sampling should keep the head in counter range")
+	}
+	b.ReportMetric(float64(satFull), "unsampled_saturated_topkeys")
+	b.ReportMetric(float64(satSampled), "sampled_saturated_topkeys")
+	b.ReportMetric(float64(updFull)/float64(updSampled), "update_work_ratio")
+}
+
+// BenchmarkAblationBloomDedup — the Bloom filter after the Count-Min sketch
+// exists only to stop re-reporting a hot key on every subsequent query
+// (§4.4.3). Measures controller reports per cycle with and without it.
+func BenchmarkAblationBloomDedup(b *testing.B) {
+	const queries = 200_000
+	const threshold = 64
+	zipf, _ := workload.NewZipf(100_000, 0.99)
+
+	run := func(dedup bool) (reports int) {
+		cms := sketch.NewCountMin(4, 1<<16, 16)
+		bloom := sketch.NewBloom(3, 1<<18)
+		rng := rand.New(rand.NewSource(5))
+		var key [8]byte
+		for q := 0; q < queries; q++ {
+			binary.BigEndian.PutUint64(key[:], uint64(zipf.SampleRank(rng)))
+			if cms.Add(key[:]) < threshold {
+				continue
+			}
+			if dedup {
+				if bloom.AddIfAbsent(key[:]) {
+					reports++
+				}
+			} else {
+				reports++
+			}
+		}
+		return
+	}
+	var with, without int
+	for i := 0; i < b.N; i++ {
+		with = run(true)
+		without = run(false)
+	}
+	if with >= without {
+		b.Fatal("dedup should reduce reports")
+	}
+	b.ReportMetric(float64(with), "reports_with_bloom")
+	b.ReportMetric(float64(without), "reports_without_bloom")
+	b.ReportMetric(float64(without)/float64(with), "controller_load_reduction")
+}
+
+// BenchmarkAblationHHScope — counting only *uncached* keys in the heavy-
+// hitter detector (the paper's choice, §4.2) vs counting every read: the
+// cached head would otherwise dominate the sketch, wasting its resolution
+// and re-reporting keys the controller already cached.
+func BenchmarkAblationHHScope(b *testing.B) {
+	const queries = 500_000
+	const cacheSize = 1000
+	const threshold = 64
+	zipf, _ := workload.NewZipf(100_000, 0.99)
+
+	run := func(uncachedOnly bool) (updates, redundantHot int) {
+		cms := sketch.NewCountMin(4, 1<<14, 16)
+		rng := rand.New(rand.NewSource(9))
+		var key [8]byte
+		for q := 0; q < queries; q++ {
+			rank := zipf.SampleRank(rng)
+			if uncachedOnly && rank < cacheSize {
+				continue // served by the cache; not counted
+			}
+			binary.BigEndian.PutUint64(key[:], uint64(rank))
+			est := cms.Add(key[:])
+			if est >= threshold && rank < cacheSize {
+				redundantHot++ // report for an already-cached key
+			}
+		}
+		return queries - queriesSkipped(zipf, uncachedOnly, cacheSize, queries), redundantHot
+	}
+	var updAll, redAll, updUnc, redUnc int
+	for i := 0; i < b.N; i++ {
+		updAll, redAll = run(false)
+		updUnc, redUnc = run(true)
+	}
+	if redUnc != 0 {
+		b.Fatal("uncached-only counting cannot produce redundant hot reports")
+	}
+	b.ReportMetric(float64(redAll), "redundant_hot_count_all")
+	b.ReportMetric(float64(updAll)/float64(updUnc), "sketch_update_ratio")
+	_ = redAll
+}
+
+// queriesSkipped estimates how many of n Zipf queries land in the cached
+// head (analytically, to avoid a second sampling pass).
+func queriesSkipped(z *workload.Zipf, uncachedOnly bool, cacheSize, n int) int {
+	if !uncachedOnly {
+		return 0
+	}
+	return int(z.CumTop(cacheSize) * float64(n))
+}
+
+// BenchmarkAblationUpdatePath — §4.3's choice of *data-plane* cache updates
+// (sub-microsecond refresh) against the write-around alternative where a
+// written key stays invalid until the controller's next cycle (~1 s). Even
+// under *uniform* writes — NetCache's favorable regime — write-around
+// collapses the cache, because every cached key is written often enough to
+// spend most of each second invalid.
+func BenchmarkAblationUpdatePath(b *testing.B) {
+	rack := harness.PaperRack(0.99)
+	var dataPlane, writeAround float64
+	for i := 0; i < b.N; i++ {
+		dp := harness.WriteWorkload{Rack: rack, WriteRatio: 0.1}
+		wa := dp
+		wa.CoherenceWindow = 1.0 // one controller cycle
+		dataPlane = dp.Throughput(true)
+		writeAround = wa.Throughput(true)
+	}
+	if writeAround >= dataPlane {
+		b.Fatal("write-around must underperform data-plane updates")
+	}
+	b.ReportMetric(dataPlane/1e9, "dataplane_update_BQPS")
+	b.ReportMetric(writeAround/1e9, "write_around_BQPS")
+	b.ReportMetric(dataPlane/writeAround, "advantage")
+}

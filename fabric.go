@@ -1,0 +1,93 @@
+package netcache
+
+// Public surface of the multi-rack leaf-spine prototype (§5 future work,
+// implemented packet-level in internal/leafspine).
+
+import (
+	"time"
+
+	"netcache/internal/leafspine"
+)
+
+// LeafSpineConfig sizes a multi-rack fabric.
+type LeafSpineConfig struct {
+	// Racks is the number of storage racks (≥1), each behind its own
+	// NetCache ToR switch.
+	Racks int
+	// ServersPerRack is each rack's width (≥1).
+	ServersPerRack int
+	// Clients attach to the spine switch (≥1).
+	Clients int
+	// SpineCache / TorCache cap each layer's cached items (0 = switch
+	// limit).
+	SpineCache, TorCache int
+	// Switch optionally overrides the switch program used at both
+	// layers.
+	Switch SwitchConfig
+}
+
+// Fabric is an assembled leaf-spine NetCache deployment: every switch runs
+// the full NetCache pipeline; the spine caches the global head, each ToR
+// its rack's head, with write-through coherence composing across the two
+// layers.
+type Fabric struct {
+	f *leafspine.Fabric
+}
+
+// NewLeafSpine builds a fabric.
+func NewLeafSpine(cfg LeafSpineConfig) (*Fabric, error) {
+	f, err := leafspine.New(leafspine.Config{
+		Racks:          cfg.Racks,
+		ServersPerRack: cfg.ServersPerRack,
+		Clients:        cfg.Clients,
+		Switch:         cfg.Switch,
+		SpineCache:     cfg.SpineCache,
+		TorCache:       cfg.TorCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Fabric{f: f}, nil
+}
+
+// Client returns client handle i (attached to the spine).
+func (fb *Fabric) Client(i int) *Client { return &Client{c: fb.f.Client(i)} }
+
+// LoadDataset installs the canonical dataset across all racks' servers.
+func (fb *Fabric) LoadDataset(n, valueSize int) { fb.f.LoadDataset(n, valueSize) }
+
+// Tick runs one controller cycle at every switch (ToRs first, then spine).
+func (fb *Fabric) Tick() { fb.f.Tick() }
+
+// StartControllers runs Tick on the given interval until stopped.
+func (fb *Fabric) StartControllers(interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				fb.f.Tick()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// SpineCacheLen returns the number of items cached at the spine layer.
+func (fb *Fabric) SpineCacheLen() int {
+	_, ctl := fb.f.Spine()
+	return ctl.Len()
+}
+
+// TorCacheLen returns the number of items cached at rack r's ToR.
+func (fb *Fabric) TorCacheLen(r int) int {
+	_, ctl := fb.f.Tor(r)
+	return ctl.Len()
+}
+
+// RackOf returns the rack index owning key.
+func (fb *Fabric) RackOf(key Key) int { return fb.f.RackOf(key) }

@@ -1,0 +1,3 @@
+module netcache
+
+go 1.22

@@ -1,0 +1,408 @@
+// Package cachemem implements the switch-memory management of NetCache
+// (SOSP'17 §4.4.2, Algorithm 2): placing variable-length values into the
+// fixed register arrays of the switch data plane.
+//
+// The data plane stores values in A register arrays (one per stage), each
+// with S slots of unit bytes. A cached item occupies one or more slots, all
+// at the *same index* across different arrays — that is the hardware
+// constraint that turns placement into a bin-packing problem where bin i is
+// the set of slots with index i across all arrays. The allocator hands out
+// (index, bitmap) placements: the bitmap says which arrays hold the item's
+// slots, and the single index locates them (Fig. 6b).
+//
+// Eviction frees the item's slots. Insertion runs First Fit over the bins
+// (the paper's choice; Best Fit is provided for the ablation benchmark).
+// Because an item need not occupy *consecutive* arrays, fragmentation is
+// mild, but packing small items of different indexes together still requires
+// the periodic reorganization the paper mentions; Reorganize computes such a
+// repacking and reports the moves the controller must apply to the data
+// plane.
+package cachemem
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"netcache/internal/netproto"
+)
+
+// Policy selects the bin-packing heuristic used by Insert.
+type Policy uint8
+
+const (
+	// FirstFit scans bins in index order and takes the first that fits —
+	// the paper's Algorithm 2.
+	FirstFit Policy = iota
+	// BestFit takes the fitting bin with the fewest free slots, trading
+	// scan cost for lower fragmentation (ablation baseline).
+	BestFit
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == FirstFit {
+		return "first-fit"
+	}
+	return "best-fit"
+}
+
+// Placement locates a cached item in the value register arrays.
+type Placement struct {
+	// Index is the slot index shared by all of the item's arrays.
+	Index int
+	// Bitmap has bit a set if array a holds one of the item's slots.
+	Bitmap uint16
+	// Size is the value size in bytes the placement was made for.
+	Size int
+}
+
+// Slots returns the number of register slots the placement occupies.
+func (p Placement) Slots() int { return bits.OnesCount16(p.Bitmap) }
+
+// Move records a relocation computed by Reorganize: the controller must copy
+// the item's value from From to To in the data plane and update the lookup
+// table.
+type Move struct {
+	Key  netproto.Key
+	From Placement
+	To   Placement
+}
+
+// Allocator manages the slot inventory. It is not safe for concurrent use;
+// the controller owns it and serializes access.
+type Allocator struct {
+	arrays  int
+	indexes int
+	unit    int
+	policy  Policy
+
+	// free[i] has bit a set if slot i of array a is free (Algorithm 2's
+	// mem array, with 1 = available).
+	free []uint16
+
+	keyMap map[netproto.Key]Placement
+
+	freeSlots int
+	// firstFree is a scan hint: no bin below it has free slots.
+	firstFree int
+}
+
+// Config sizes an Allocator.
+type Config struct {
+	// Arrays is the number of value register arrays (stages); at most 16.
+	Arrays int
+	// Indexes is the number of slots per array.
+	Indexes int
+	// UnitBytes is the slot granularity (16 in the prototype).
+	UnitBytes int
+	// Policy is the packing heuristic; zero value is FirstFit.
+	Policy Policy
+}
+
+// PaperConfig returns the prototype's dimensions: 8 stages × 64K slots ×
+// 16 bytes = 8 MB, values up to 128 bytes (§6).
+func PaperConfig() Config {
+	return Config{Arrays: 8, Indexes: 65536, UnitBytes: 16}
+}
+
+// New returns an empty allocator.
+func New(cfg Config) (*Allocator, error) {
+	if cfg.Arrays < 1 || cfg.Arrays > 16 {
+		return nil, fmt.Errorf("cachemem: arrays must be 1..16, got %d", cfg.Arrays)
+	}
+	if cfg.Indexes < 1 {
+		return nil, fmt.Errorf("cachemem: indexes must be positive, got %d", cfg.Indexes)
+	}
+	if cfg.UnitBytes < 1 {
+		return nil, fmt.Errorf("cachemem: unit bytes must be positive, got %d", cfg.UnitBytes)
+	}
+	a := &Allocator{
+		arrays:  cfg.Arrays,
+		indexes: cfg.Indexes,
+		unit:    cfg.UnitBytes,
+		policy:  cfg.Policy,
+		free:    make([]uint16, cfg.Indexes),
+		keyMap:  make(map[netproto.Key]Placement),
+	}
+	full := uint16(1)<<cfg.Arrays - 1
+	for i := range a.free {
+		a.free[i] = full
+	}
+	a.freeSlots = cfg.Arrays * cfg.Indexes
+	return a, nil
+}
+
+// Arrays returns the number of value arrays managed.
+func (a *Allocator) Arrays() int { return a.arrays }
+
+// Indexes returns the slots per array.
+func (a *Allocator) Indexes() int { return a.indexes }
+
+// UnitBytes returns the slot granularity.
+func (a *Allocator) UnitBytes() int { return a.unit }
+
+// MaxValueBytes returns the largest value the arrays can hold.
+func (a *Allocator) MaxValueBytes() int { return a.arrays * a.unit }
+
+// Len returns the number of cached items.
+func (a *Allocator) Len() int { return len(a.keyMap) }
+
+// FreeSlots returns the number of unoccupied register slots.
+func (a *Allocator) FreeSlots() int { return a.freeSlots }
+
+// Occupancy returns the fraction of slots in use.
+func (a *Allocator) Occupancy() float64 {
+	total := a.arrays * a.indexes
+	return float64(total-a.freeSlots) / float64(total)
+}
+
+// SlotsFor returns how many slots a value of the given size needs.
+func (a *Allocator) SlotsFor(valueSize int) int {
+	return (valueSize + a.unit - 1) / a.unit
+}
+
+// Lookup returns the placement of key, if cached.
+func (a *Allocator) Lookup(key netproto.Key) (Placement, bool) {
+	p, ok := a.keyMap[key]
+	return p, ok
+}
+
+// Keys returns the cached keys in unspecified order.
+func (a *Allocator) Keys() []netproto.Key {
+	out := make([]netproto.Key, 0, len(a.keyMap))
+	for k := range a.keyMap {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Errors returned by Insert.
+var (
+	ErrAlreadyCached = fmt.Errorf("cachemem: key already cached")
+	ErrNoSpace       = fmt.Errorf("cachemem: no bin has enough free slots")
+	ErrTooBig        = fmt.Errorf("cachemem: value exceeds array capacity")
+	ErrEmptyValue    = fmt.Errorf("cachemem: value size must be positive")
+)
+
+// Insert places a value of valueSize bytes and returns the placement
+// (Algorithm 2, Insert). It fails with ErrNoSpace when no single bin has
+// enough free slots even if the total free space would suffice — the
+// condition Reorganize exists to repair.
+func (a *Allocator) Insert(key netproto.Key, valueSize int) (Placement, error) {
+	if _, dup := a.keyMap[key]; dup {
+		return Placement{}, ErrAlreadyCached
+	}
+	if valueSize <= 0 {
+		return Placement{}, ErrEmptyValue
+	}
+	n := a.SlotsFor(valueSize)
+	if n > a.arrays {
+		return Placement{}, ErrTooBig
+	}
+
+	bin := -1
+	switch a.policy {
+	case FirstFit:
+		for i := a.firstFree; i < a.indexes; i++ {
+			if bits.OnesCount16(a.free[i]) >= n {
+				bin = i
+				break
+			}
+		}
+	case BestFit:
+		bestCount := a.arrays + 1
+		for i := 0; i < a.indexes; i++ {
+			c := bits.OnesCount16(a.free[i])
+			if c >= n && c < bestCount {
+				bin, bestCount = i, c
+				if c == n {
+					break
+				}
+			}
+		}
+	}
+	if bin < 0 {
+		return Placement{}, ErrNoSpace
+	}
+
+	bitmap := lastNSetBits(a.free[bin], n)
+	a.free[bin] &^= bitmap
+	a.freeSlots -= n
+	p := Placement{Index: bin, Bitmap: bitmap, Size: valueSize}
+	a.keyMap[key] = p
+	a.advanceHint()
+	return p, nil
+}
+
+// Evict frees the slots of key (Algorithm 2, Evict) and reports whether the
+// key was cached.
+func (a *Allocator) Evict(key netproto.Key) bool {
+	p, ok := a.keyMap[key]
+	if !ok {
+		return false
+	}
+	a.free[p.Index] |= p.Bitmap
+	a.freeSlots += p.Slots()
+	delete(a.keyMap, key)
+	if p.Index < a.firstFree {
+		a.firstFree = p.Index
+	}
+	return true
+}
+
+// CanUpdateInPlace reports whether a new value of newSize bytes fits the
+// existing placement of key — the §4.3 constraint that data-plane cache
+// updates may not grow an item beyond its allocated slots.
+func (a *Allocator) CanUpdateInPlace(key netproto.Key, newSize int) bool {
+	p, ok := a.keyMap[key]
+	return ok && newSize > 0 && a.SlotsFor(newSize) <= p.Slots()
+}
+
+// Reorganize computes a dense repacking of all cached items: items are
+// sorted by descending slot count and re-placed first-fit into fresh bins
+// (first-fit decreasing). It mutates the allocator to the new layout and
+// returns the moves (items whose placement changed) for the controller to
+// apply to the data plane. Items that did not move are not reported.
+//
+// Bin packing is NP-hard and first-fit decreasing is a heuristic: in the
+// rare case it fails to re-place every item, Reorganize leaves the existing
+// layout untouched and returns nil — the current layout is itself a valid
+// packing, so nothing is lost.
+func (a *Allocator) Reorganize() []Move {
+	type item struct {
+		key netproto.Key
+		p   Placement
+	}
+	items := make([]item, 0, len(a.keyMap))
+	for k, p := range a.keyMap {
+		items = append(items, item{k, p})
+	}
+	// Descending slot count; ties broken by key for determinism.
+	sort.Slice(items, func(i, j int) bool {
+		si, sj := items[i].p.Slots(), items[j].p.Slots()
+		if si != sj {
+			return si > sj
+		}
+		return lessKey(items[i].key, items[j].key)
+	})
+
+	full := uint16(1)<<a.arrays - 1
+	newFree := make([]uint16, a.indexes)
+	for i := range newFree {
+		newFree[i] = full
+	}
+	var moves []Move
+	newMap := make(map[netproto.Key]Placement, len(items))
+	for _, it := range items {
+		n := it.p.Slots()
+		placed := false
+		for i := 0; i < a.indexes; i++ {
+			if bits.OnesCount16(newFree[i]) < n {
+				continue
+			}
+			bitmap := lastNSetBits(newFree[i], n)
+			newFree[i] &^= bitmap
+			np := Placement{Index: i, Bitmap: bitmap, Size: it.p.Size}
+			newMap[it.key] = np
+			if np != it.p {
+				moves = append(moves, Move{Key: it.key, From: it.p, To: np})
+			}
+			placed = true
+			break
+		}
+		if !placed {
+			return nil // heuristic failure: keep the current layout
+		}
+	}
+	a.free = newFree
+	a.keyMap = newMap
+	a.firstFree = 0
+	a.advanceHint()
+	return moves
+}
+
+// LargestFreeBin returns the maximum number of free slots available in any
+// single bin — the largest value (in slots) that Insert can currently place.
+func (a *Allocator) LargestFreeBin() int {
+	best := 0
+	for _, f := range a.free {
+		if c := bits.OnesCount16(f); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+func (a *Allocator) advanceHint() {
+	for a.firstFree < a.indexes && a.free[a.firstFree] == 0 {
+		a.firstFree++
+	}
+}
+
+// lastNSetBits returns a bitmap containing the n lowest set bits of v
+// (Algorithm 2 line 15 takes "the last n 1 bits").
+func lastNSetBits(v uint16, n int) uint16 {
+	var out uint16
+	for n > 0 && v != 0 {
+		low := v & (^v + 1) // lowest set bit
+		out |= low
+		v &^= low
+		n--
+	}
+	return out
+}
+
+func lessKey(a, b netproto.Key) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// IndexPool hands out small integer indexes from a fixed range — NetCache
+// uses one per cached key to address the per-key counter and cache-status
+// (validity) register slots (§4.4.4).
+type IndexPool struct {
+	free []int
+	used map[int]bool
+	cap  int
+}
+
+// NewIndexPool returns a pool over [0, n).
+func NewIndexPool(n int) *IndexPool {
+	p := &IndexPool{free: make([]int, 0, n), used: make(map[int]bool, n), cap: n}
+	for i := n - 1; i >= 0; i-- {
+		p.free = append(p.free, i) // pop order 0,1,2,...
+	}
+	return p
+}
+
+// Cap returns the pool size.
+func (p *IndexPool) Cap() int { return p.cap }
+
+// InUse returns the number of allocated indexes.
+func (p *IndexPool) InUse() int { return len(p.used) }
+
+// Alloc returns a free index, or -1 if the pool is exhausted.
+func (p *IndexPool) Alloc() int {
+	if len(p.free) == 0 {
+		return -1
+	}
+	idx := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.used[idx] = true
+	return idx
+}
+
+// Free returns idx to the pool; freeing an unallocated index panics, as it
+// indicates controller state corruption.
+func (p *IndexPool) Free(idx int) {
+	if !p.used[idx] {
+		panic(fmt.Sprintf("cachemem: Free of unallocated index %d", idx))
+	}
+	delete(p.used, idx)
+	p.free = append(p.free, idx)
+}

@@ -1,0 +1,259 @@
+// Package client implements the NetCache client library (SOSP'17 §3): a
+// Get/Put/Delete interface in the style of Memcached/Redis that translates
+// API calls into NetCache packets, routes each query to the storage server
+// owning the key's partition, and matches replies by sequence number.
+//
+// Read queries follow the paper's UDP semantics — fire, await, retransmit on
+// timeout (§4.1: SEQ "can be used as a sequence number for reliable
+// transmissions by UDP Get queries"). The client is unaware of the switch
+// cache: a reply served by the switch is indistinguishable from one served
+// by a server, which is exactly the transparency the architecture promises.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"netcache/internal/netproto"
+	"netcache/internal/stats"
+)
+
+// Partitioner maps a key to the rack address of the storage server that
+// owns it (the client-side view of hash partitioning, §3).
+type Partitioner func(key netproto.Key) netproto.Addr
+
+// Config tunes a client.
+type Config struct {
+	// Addr is the client's rack address.
+	Addr netproto.Addr
+	// Partition routes keys to server addresses.
+	Partition Partitioner
+	// Timeout is the per-attempt reply timeout. Zero means 10ms.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first attempt.
+	// Zero means 3.
+	Retries int
+}
+
+// Metrics counts client activity.
+type Metrics struct {
+	Sent       stats.Counter
+	Retransmit stats.Counter
+	Timeouts   stats.Counter
+}
+
+// Client issues NetCache queries over a frame transport. Safe for
+// concurrent use.
+type Client struct {
+	cfg  Config
+	send func(frame []byte)
+
+	seq     atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan netproto.Packet
+
+	// Metrics is exported for harnesses and tests.
+	Metrics Metrics
+}
+
+// Errors returned by the query methods.
+var (
+	ErrTimeout  = errors.New("client: query timed out")
+	ErrNotFound = errors.New("client: key not found")
+)
+
+// New returns a client. SetSend must be called before issuing queries.
+func New(cfg Config) (*Client, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("client: config needs a partitioner")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Millisecond
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 3
+	}
+	return &Client{cfg: cfg, pending: make(map[uint64]chan netproto.Packet)}, nil
+}
+
+// Addr returns the client's rack address.
+func (c *Client) Addr() netproto.Addr { return c.cfg.Addr }
+
+// SetSend installs the transmit function (frames leave toward the switch).
+func (c *Client) SetSend(fn func(frame []byte)) { c.send = fn }
+
+// Receive handles one frame delivered to the client's port.
+func (c *Client) Receive(frame []byte) {
+	fr, err := netproto.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	var pkt netproto.Packet
+	if netproto.Decode(fr.Payload, &pkt) != nil || !pkt.Op.IsReply() {
+		return
+	}
+	// Copy the value out of the transport buffer before handing off.
+	if pkt.Value != nil {
+		pkt.Value = append([]byte(nil), pkt.Value...)
+	}
+	c.mu.Lock()
+	ch, ok := c.pending[pkt.Seq]
+	if ok {
+		delete(c.pending, pkt.Seq)
+	}
+	c.mu.Unlock()
+	if ok {
+		// Non-blocking: the channel holds one reply and roundTrip
+		// consumes exactly one. A duplicate (a retransmission answered
+		// twice) racing a timer-driven re-registration could otherwise
+		// block this goroutine — fatal on a synchronous fabric, where
+		// Receive runs inside the sender's own call stack.
+		select {
+		case ch <- pkt:
+		default:
+		}
+	}
+}
+
+// Get fetches the value of key. It returns ErrNotFound for absent keys and
+// ErrTimeout when every retransmission went unanswered.
+func (c *Client) Get(key netproto.Key) ([]byte, error) {
+	pkt, err := c.roundTrip(netproto.Packet{Op: netproto.OpGet, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	if pkt.Op == netproto.OpGetReplyMiss {
+		return nil, ErrNotFound
+	}
+	return pkt.Value, nil
+}
+
+// Put stores value under key.
+func (c *Client) Put(key netproto.Key, value []byte) error {
+	if len(value) == 0 || len(value) > netproto.MaxValueSize {
+		return fmt.Errorf("client: value size %d out of (0,%d]", len(value), netproto.MaxValueSize)
+	}
+	_, err := c.roundTrip(netproto.Packet{Op: netproto.OpPut, Key: key, Value: value})
+	return err
+}
+
+// Delete removes key. Deleting an absent key is not an error, matching the
+// store's idempotent semantics.
+func (c *Client) Delete(key netproto.Key) error {
+	_, err := c.roundTrip(netproto.Packet{Op: netproto.OpDelete, Key: key})
+	return err
+}
+
+// roundTrip sends the query and awaits the matching reply, retransmitting
+// per the configured policy.
+func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
+	seq := c.seq.Add(1)
+	pkt.Seq = seq
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return netproto.Packet{}, err
+	}
+	dst := c.cfg.Partition(pkt.Key)
+	frame := netproto.MarshalFrame(dst, c.cfg.Addr, payload)
+
+	ch := make(chan netproto.Packet, 1)
+	c.mu.Lock()
+	c.pending[seq] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, seq)
+		c.mu.Unlock()
+	}()
+
+	timer := time.NewTimer(c.cfg.Timeout)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		c.Metrics.Sent.Inc()
+		if attempt > 0 {
+			c.Metrics.Retransmit.Inc()
+		}
+		c.send(frame)
+		// The fabric may deliver synchronously, in which case the
+		// reply is already buffered.
+		select {
+		case reply := <-ch:
+			return reply, nil
+		default:
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(c.cfg.Timeout)
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-timer.C:
+			if attempt >= c.cfg.Retries {
+				c.Metrics.Timeouts.Inc()
+				return netproto.Packet{}, ErrTimeout
+			}
+			// Re-register: Receive may have raced the delete.
+			c.mu.Lock()
+			c.pending[seq] = ch
+			c.mu.Unlock()
+		}
+	}
+}
+
+// GetMulti fetches several keys concurrently — the fan-out pattern of web
+// workloads ("rendering even a single web page often requires hundreds ...
+// of storage accesses", §1). results[i] and errs[i] correspond to keys[i];
+// absent keys yield ErrNotFound in errs.
+func (c *Client) GetMulti(keys []netproto.Key) (results [][]byte, errs []error) {
+	results = make([][]byte, len(keys))
+	errs = make([]error, len(keys))
+	var wg sync.WaitGroup
+	// Bound the fan-out: a rack client has one NIC, not unbounded
+	// parallelism.
+	sem := make(chan struct{}, 32)
+	for i, key := range keys {
+		wg.Add(1)
+		go func(i int, key netproto.Key) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = c.Get(key)
+		}(i, key)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// HashPartitioner returns the canonical partitioner: keys are hashed across
+// the given server addresses (§3: "key-value items are hash-partitioned to
+// the storage servers").
+func HashPartitioner(servers []netproto.Addr) Partitioner {
+	if len(servers) == 0 {
+		panic("client: HashPartitioner needs at least one server")
+	}
+	addrs := append([]netproto.Addr(nil), servers...)
+	return func(key netproto.Key) netproto.Addr {
+		return addrs[PartitionOf(key, len(addrs))]
+	}
+}
+
+// PartitionOf returns the partition index of key among n partitions — the
+// shared hash every component (client, rack, harness) agrees on.
+func PartitionOf(key netproto.Key, n int) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return int(h % uint64(n))
+}

@@ -1,0 +1,328 @@
+package client
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netcache/internal/netproto"
+)
+
+const (
+	cliAddr = netproto.Addr(0x8001)
+	srvAddr = netproto.Addr(1)
+)
+
+// echoServer is a minimal in-memory responder standing in for the rack.
+type echoServer struct {
+	t       *testing.T
+	cli     *Client
+	mu      sync.Mutex
+	store   map[netproto.Key][]byte
+	dropN   int // drop the next N requests (loss injection)
+	lastDst netproto.Addr
+}
+
+func newPair(t *testing.T, timeout time.Duration, retries int) (*Client, *echoServer) {
+	t.Helper()
+	cli, err := New(Config{
+		Addr:      cliAddr,
+		Partition: func(netproto.Key) netproto.Addr { return srvAddr },
+		Timeout:   timeout,
+		Retries:   retries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &echoServer{t: t, cli: cli, store: make(map[netproto.Key][]byte)}
+	cli.SetSend(srv.handle)
+	return cli, srv
+}
+
+func (s *echoServer) handle(frame []byte) {
+	fr, err := netproto.DecodeFrame(frame)
+	if err != nil {
+		s.t.Errorf("bad frame: %v", err)
+		return
+	}
+	var pkt netproto.Packet
+	if err := netproto.Decode(fr.Payload, &pkt); err != nil {
+		s.t.Errorf("bad packet: %v", err)
+		return
+	}
+	s.mu.Lock()
+	s.lastDst = fr.Dst
+	if s.dropN > 0 {
+		s.dropN--
+		s.mu.Unlock()
+		return
+	}
+	var value []byte
+	var found bool
+	switch pkt.Op {
+	case netproto.OpGet:
+		value, found = s.store[pkt.Key]
+	case netproto.OpPut:
+		s.store[pkt.Key] = append([]byte(nil), pkt.Value...)
+		found = true
+	case netproto.OpDelete:
+		delete(s.store, pkt.Key)
+		found = true
+	}
+	s.mu.Unlock()
+	reply := netproto.Reply(&pkt, value, found)
+	payload, _ := reply.Marshal()
+	s.cli.Receive(netproto.MarshalFrame(fr.Src, fr.Dst, payload))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("missing partitioner should fail")
+	}
+}
+
+func TestGetPutDelete(t *testing.T) {
+	cli, _ := newPair(t, 10*time.Millisecond, 2)
+	key := netproto.KeyFromString("k")
+
+	if _, err := cli.Get(key); err != ErrNotFound {
+		t.Fatalf("missing key: %v", err)
+	}
+	if err := cli.Put(key, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := cli.Get(key)
+	if err != nil || !bytes.Equal(v, []byte("hello")) {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := cli.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Get(key); err != ErrNotFound {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	cli, _ := newPair(t, time.Millisecond, 1)
+	key := netproto.KeyFromString("k")
+	if err := cli.Put(key, nil); err == nil {
+		t.Error("empty value should fail")
+	}
+	if err := cli.Put(key, make([]byte, 129)); err == nil {
+		t.Error("oversize value should fail")
+	}
+}
+
+func TestRetransmitRecoversLoss(t *testing.T) {
+	cli, srv := newPair(t, 2*time.Millisecond, 5)
+	key := netproto.KeyFromString("k")
+	cli.Put(key, []byte("v"))
+
+	srv.mu.Lock()
+	srv.dropN = 2
+	srv.mu.Unlock()
+	v, err := cli.Get(key)
+	if err != nil || string(v) != "v" {
+		t.Fatalf("Get after loss = %q, %v", v, err)
+	}
+	if cli.Metrics.Retransmit.Value() < 2 {
+		t.Errorf("retransmits = %d, want >= 2", cli.Metrics.Retransmit.Value())
+	}
+}
+
+func TestTimeoutAfterRetriesExhausted(t *testing.T) {
+	cli, srv := newPair(t, time.Millisecond, 2)
+	srv.mu.Lock()
+	srv.dropN = 100
+	srv.mu.Unlock()
+	_, err := cli.Get(netproto.KeyFromString("k"))
+	if err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if cli.Metrics.Timeouts.Value() != 1 {
+		t.Errorf("timeouts = %d", cli.Metrics.Timeouts.Value())
+	}
+}
+
+func TestQueriesRoutedToOwner(t *testing.T) {
+	cli, srv := newPair(t, 10*time.Millisecond, 1)
+	cli.Put(netproto.KeyFromString("x"), []byte("v"))
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if srv.lastDst != srvAddr {
+		t.Errorf("query sent to %d, want %d", srv.lastDst, srvAddr)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	cli, _ := newPair(t, 50*time.Millisecond, 3)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := netproto.KeyFromString(string(rune('a' + g)))
+			for i := 0; i < 200; i++ {
+				if err := cli.Put(key, []byte{byte(g), byte(i)}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				v, err := cli.Get(key)
+				if err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				if v[0] != byte(g) {
+					t.Errorf("cross-talk: got %v for goroutine %d", v, g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestReceiveIgnoresGarbage(t *testing.T) {
+	cli, _ := newPair(t, time.Millisecond, 1)
+	cli.Receive([]byte{1})
+	cli.Receive(netproto.MarshalFrame(cliAddr, srvAddr, []byte("junk")))
+	// A non-reply op is ignored even if well-formed.
+	pkt := netproto.Packet{Op: netproto.OpGet, Seq: 1, Key: netproto.KeyFromString("k")}
+	payload, _ := pkt.Marshal()
+	cli.Receive(netproto.MarshalFrame(cliAddr, srvAddr, payload))
+}
+
+func TestUnsolicitedReplyIgnored(t *testing.T) {
+	cli, _ := newPair(t, time.Millisecond, 1)
+	pkt := netproto.Packet{Op: netproto.OpGetReply, Seq: 999, Key: netproto.KeyFromString("k"), Value: []byte("v")}
+	payload, _ := pkt.Marshal()
+	cli.Receive(netproto.MarshalFrame(cliAddr, srvAddr, payload)) // must not panic or block
+}
+
+func TestHashPartitioner(t *testing.T) {
+	servers := []netproto.Addr{1, 2, 3, 4}
+	part := HashPartitioner(servers)
+	counts := make(map[netproto.Addr]int)
+	for i := 0; i < 10000; i++ {
+		k := netproto.HashKey([]byte{byte(i), byte(i >> 8)})
+		addr := part(k)
+		counts[addr]++
+		if part(k) != addr {
+			t.Fatal("partitioner not deterministic")
+		}
+	}
+	for _, a := range servers {
+		if counts[a] < 1500 {
+			t.Errorf("server %d got %d/10000 keys; want roughly balanced", a, counts[a])
+		}
+	}
+}
+
+func TestHashPartitionerEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty server list should panic")
+		}
+	}()
+	HashPartitioner(nil)
+}
+
+func TestPartitionOfAgreesWithPartitioner(t *testing.T) {
+	servers := []netproto.Addr{10, 20, 30}
+	part := HashPartitioner(servers)
+	for i := 0; i < 100; i++ {
+		k := netproto.HashKey([]byte{byte(i)})
+		if part(k) != servers[PartitionOf(k, 3)] {
+			t.Fatal("PartitionOf disagrees with HashPartitioner")
+		}
+	}
+}
+
+func TestGetMulti(t *testing.T) {
+	cli, _ := newPair(t, 50*time.Millisecond, 3)
+	var keys []netproto.Key
+	for i := 0; i < 50; i++ {
+		k := netproto.KeyFromString(fmt.Sprintf("mk-%d", i))
+		keys = append(keys, k)
+		if i%2 == 0 {
+			if err := cli.Put(k, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	results, errs := cli.GetMulti(keys)
+	if len(results) != 50 || len(errs) != 50 {
+		t.Fatalf("arity: %d/%d", len(results), len(errs))
+	}
+	for i := range keys {
+		if i%2 == 0 {
+			if errs[i] != nil || len(results[i]) != 1 || results[i][0] != byte(i) {
+				t.Errorf("key %d: %v %v", i, results[i], errs[i])
+			}
+		} else if errs[i] != ErrNotFound {
+			t.Errorf("key %d: err = %v, want ErrNotFound", i, errs[i])
+		}
+	}
+}
+
+func TestGetMultiEmpty(t *testing.T) {
+	cli, _ := newPair(t, time.Millisecond, 1)
+	results, errs := cli.GetMulti(nil)
+	if len(results) != 0 || len(errs) != 0 {
+		t.Error("empty batch should return empty slices")
+	}
+}
+
+// Regression: duplicate replies racing timer-driven re-registration must
+// never block the delivery goroutine (fatal on a synchronous fabric). The
+// delayed double-replying server makes the race likely across iterations.
+func TestDuplicateDelayedRepliesDoNotDeadlock(t *testing.T) {
+	cli, err := New(Config{
+		Addr:      cliAddr,
+		Partition: func(netproto.Key) netproto.Addr { return srvAddr },
+		Timeout:   300 * time.Microsecond,
+		Retries:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	cli.SetSend(func(frame []byte) {
+		fr, _ := netproto.DecodeFrame(frame)
+		var pkt netproto.Packet
+		if netproto.Decode(fr.Payload, &pkt) != nil {
+			return
+		}
+		reply := netproto.Reply(&pkt, []byte("v"), true)
+		payload, _ := reply.Marshal()
+		out := netproto.MarshalFrame(fr.Src, fr.Dst, payload)
+		// Two delayed replies per request, straddling the timeout.
+		for _, d := range []time.Duration{250 * time.Microsecond, 400 * time.Microsecond} {
+			wg.Add(1)
+			go func(d time.Duration) {
+				defer wg.Done()
+				time.Sleep(d)
+				cli.Receive(out)
+			}(d)
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := cli.Get(netproto.KeyFromString("k")); err != nil {
+				t.Errorf("get %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("client deadlocked on duplicate replies")
+	}
+	wg.Wait()
+}

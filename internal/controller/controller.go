@@ -1,0 +1,460 @@
+// Package controller implements the NetCache controller (SOSP'17 §3, §4.3,
+// Fig. 4): the control-plane process that keeps the switch cache populated
+// with the hottest keys.
+//
+// The controller receives heavy-hitter reports from the switch data plane,
+// compares reported frequencies against the (sampled) hit counters of keys
+// already cached, evicts less-popular keys and inserts more-popular ones.
+// Eviction candidates are chosen by sampling a few cached keys — the same
+// approximation Redis uses for LRU — because reading every counter each
+// cycle would be too expensive (§4.3). Cache coherence during insertion is
+// preserved by blocking writes to the key at its storage server until the
+// switch entry is fully installed.
+//
+// The controller is deliberately not an SDN controller: it manages only its
+// own state (the key-value cache and the query statistics); routing tables
+// belong to whatever system the operator already runs.
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"netcache/internal/cachemem"
+	"netcache/internal/netproto"
+	"netcache/internal/stats"
+	"netcache/internal/switchcore"
+)
+
+// StorageNode is the control-plane surface of a storage server: value
+// fetches for cache population and the write-block window of §4.3.
+type StorageNode interface {
+	Addr() netproto.Addr
+	FetchValue(key netproto.Key) (value []byte, version uint64, ok bool)
+	BlockWrites(key netproto.Key)
+	UnblockWrites(key netproto.Key)
+}
+
+// Config wires a controller.
+type Config struct {
+	// Switch is the managed switch.
+	Switch *switchcore.Switch
+	// Nodes maps rack addresses to storage nodes.
+	Nodes map[netproto.Addr]StorageNode
+	// PortOf maps a server address to its switch port (for the lookup
+	// entry's egress port).
+	PortOf func(addr netproto.Addr) (int, bool)
+	// Partition maps keys to their owning server address.
+	Partition func(key netproto.Key) netproto.Addr
+	// Resolve, if non-nil, locates the owner of a key when Partition's
+	// answer is not in Nodes — deployments that learn the topology
+	// dynamically (the UDP switch daemon) probe the servers here.
+	Resolve func(key netproto.Key) (StorageNode, bool)
+	// Capacity caps the number of cached items (the experiments use
+	// 10,000 of the switch's 64K). Zero means the switch's CacheSize.
+	Capacity int
+	// SampleK is how many cached keys are sampled when hunting for an
+	// eviction victim. Zero means 8.
+	SampleK int
+	// ReportBuffer bounds the hot-report queue between the data plane
+	// and the controller. Zero means 16384.
+	ReportBuffer int
+	// Seed seeds eviction sampling.
+	Seed int64
+	// WritePolicy optionally disables caching under write-dominated load
+	// (§7.3); the zero value leaves caching always on.
+	WritePolicy WritePolicy
+}
+
+// Metrics counts controller activity.
+type Metrics struct {
+	Reports        stats.Counter
+	ReportsDropped stats.Counter
+	Inserts        stats.Counter
+	Evictions      stats.Counter
+	RejectedColder stats.Counter
+	FetchMisses    stats.Counter
+	Reorganized    stats.Counter
+	Regrown        stats.Counter
+	Cycles         stats.Counter
+	CacheDisabled  stats.Counter
+	CacheReenabled stats.Counter
+}
+
+// entry is the controller's bookkeeping for one cached item.
+type entry struct {
+	key       netproto.Key
+	kidx      int
+	placement cachemem.Placement
+	addr      netproto.Addr
+	port      int
+
+	// freqHint is the reported frequency that justified inserting this
+	// entry, valid only within cycle hintCycle. A freshly-inserted item
+	// has no hit-counter history yet, so victim sampling within the same
+	// controller cycle uses this hint instead — otherwise a colder
+	// report processed moments later would evict it straight away.
+	freqHint  uint64
+	hintCycle uint64
+}
+
+// Controller manages one switch cache. Safe for concurrent use; Tick is
+// typically driven by a timer or the harness clock.
+type Controller struct {
+	cfg Config
+
+	reports   chan switchcore.HotReport
+	overflows chan switchcore.OverflowReport
+
+	mu      sync.Mutex
+	alloc   *cachemem.Allocator
+	kidx    *cachemem.IndexPool
+	entries map[netproto.Key]*entry
+	order   []netproto.Key // sampling support
+	rng     *rand.Rand
+	cycle   uint64
+	wp      writePolicyState
+
+	// Metrics is exported for harnesses and tests.
+	Metrics Metrics
+}
+
+// New wires a controller to its switch and registers the hot-report
+// receiver.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Switch == nil {
+		return nil, fmt.Errorf("controller: config needs a switch")
+	}
+	if cfg.Partition == nil || cfg.PortOf == nil {
+		return nil, fmt.Errorf("controller: config needs partition and port mappings")
+	}
+	swCap := cfg.Switch.Config().CacheSize
+	if cfg.Capacity <= 0 || cfg.Capacity > swCap {
+		cfg.Capacity = swCap
+	}
+	if cfg.SampleK <= 0 {
+		cfg.SampleK = 8
+	}
+	if cfg.ReportBuffer <= 0 {
+		cfg.ReportBuffer = 16384
+	}
+	alloc, err := cachemem.New(cfg.Switch.AllocatorConfig())
+	if err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:       cfg,
+		reports:   make(chan switchcore.HotReport, cfg.ReportBuffer),
+		overflows: make(chan switchcore.OverflowReport, 1024),
+		alloc:     alloc,
+		kidx:      cachemem.NewIndexPool(swCap),
+		entries:   make(map[netproto.Key]*entry),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	// The digest callbacks run with the pipeline lock held, so they must
+	// not touch controller state: enqueue or drop.
+	cfg.Switch.OnEvents(
+		func(r switchcore.HotReport) {
+			select {
+			case c.reports <- r:
+				c.Metrics.Reports.Inc()
+			default:
+				c.Metrics.ReportsDropped.Inc()
+			}
+		},
+		func(r switchcore.OverflowReport) {
+			select {
+			case c.overflows <- r:
+			default:
+			}
+		},
+	)
+	return c, nil
+}
+
+// Len returns the number of cached items.
+func (c *Controller) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Cached reports whether key is currently cached.
+func (c *Controller) Cached(key netproto.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// CachedKeys returns the cached keys (unspecified order).
+func (c *Controller) CachedKeys() []netproto.Key {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]netproto.Key(nil), c.order...)
+}
+
+// Tick runs one controller cycle: drain the hot-key reports, update the
+// cache, and reset the switch statistics (the paper resets every second).
+func (c *Controller) Tick() {
+	c.Metrics.Cycles.Inc()
+
+	// Control-plane updates first: items whose values outgrew their slot
+	// allocation are reinstalled with a fresh placement (§4.3: "the new
+	// values must be updated by the control plane").
+	grown := make(map[netproto.Key]bool)
+drainOverflow:
+	for {
+		select {
+		case r := <-c.overflows:
+			grown[r.Key] = true
+		default:
+			break drainOverflow
+		}
+	}
+	if len(grown) > 0 {
+		c.mu.Lock()
+		for key := range grown {
+			if e, ok := c.entries[key]; ok {
+				c.evictLocked(e)
+				c.insertLocked(key, 0)
+				c.Metrics.Regrown.Inc()
+			}
+		}
+		c.mu.Unlock()
+	}
+
+	// Drain and deduplicate this cycle's reports. A report fires when the
+	// key first crosses the threshold, so its frequency says little about
+	// how hot the key ultimately got this cycle — re-read the current
+	// Count-Min estimate through the driver for the comparison (§4.3
+	// "compares the hits of the HHs and the counters of the cached
+	// items").
+	hot := make(map[netproto.Key]uint64)
+drain:
+	for {
+		select {
+		case r := <-c.reports:
+			if _, seen := hot[r.Key]; !seen {
+				hot[r.Key] = c.cfg.Switch.EstimateFreq(r.Key)
+			}
+		default:
+			break drain
+		}
+	}
+
+	// Under write-dominated load the policy turns caching off: discard
+	// this cycle's candidates and keep the statistics window fresh.
+	if c.applyWritePolicy() {
+	discardReports:
+		for {
+			select {
+			case <-c.reports:
+			default:
+				break discardReports
+			}
+		}
+		c.cfg.Switch.ResetStats(true)
+		return
+	}
+
+	// Hottest first, so the most valuable keys win the free slots.
+	type cand struct {
+		key  netproto.Key
+		freq uint64
+	}
+	cands := make([]cand, 0, len(hot))
+	for k, f := range hot {
+		cands = append(cands, cand{k, f})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].freq > cands[j].freq })
+
+	c.mu.Lock()
+	c.cycle++
+	for _, cd := range cands {
+		c.considerLocked(cd.key, cd.freq)
+	}
+	c.mu.Unlock()
+
+	// Fresh statistics window (§4.4.3: "All statistics data are cleared
+	// periodically by the controller").
+	c.cfg.Switch.ResetStats(true)
+}
+
+// considerLocked decides whether to cache key given its reported frequency.
+func (c *Controller) considerLocked(key netproto.Key, freq uint64) {
+	if _, already := c.entries[key]; already {
+		return
+	}
+	if len(c.entries) >= c.cfg.Capacity {
+		victim, hits := c.sampleVictimLocked()
+		if victim == nil || hits >= freq {
+			// The new key is no hotter than the sampled cached keys:
+			// keep the cache as is (avoids churn, §4.3).
+			c.Metrics.RejectedColder.Inc()
+			return
+		}
+		c.evictLocked(victim)
+	}
+	c.insertLocked(key, freq)
+}
+
+// InsertKey force-inserts a key (pre-population of the experiments: "a
+// pre-populated cache containing the top 10,000 hottest items", §7.4). It
+// fails when the cache is at capacity.
+func (c *Controller) InsertKey(key netproto.Key) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, already := c.entries[key]; already {
+		return nil
+	}
+	if len(c.entries) >= c.cfg.Capacity {
+		return fmt.Errorf("controller: cache at capacity %d", c.cfg.Capacity)
+	}
+	if !c.insertLocked(key, 0) {
+		return fmt.Errorf("controller: insert of %s failed", key)
+	}
+	return nil
+}
+
+// EvictKey force-evicts a key; it reports whether the key was cached.
+func (c *Controller) EvictKey(key netproto.Key) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.evictLocked(e)
+	return true
+}
+
+// insertLocked performs the full §4.3 insertion protocol. freq is the
+// reported frequency justifying the insertion (0 for forced inserts).
+func (c *Controller) insertLocked(key netproto.Key, freq uint64) bool {
+	addr := c.cfg.Partition(key)
+	node, ok := c.cfg.Nodes[addr]
+	if !ok && c.cfg.Resolve != nil {
+		node, ok = c.cfg.Resolve(key)
+		if ok {
+			addr = node.Addr()
+		}
+	}
+	if !ok {
+		return false
+	}
+	port, ok := c.cfg.PortOf(addr)
+	if !ok {
+		return false
+	}
+
+	// Block writes at the owner for the duration of the insertion, then
+	// fetch the authoritative value.
+	node.BlockWrites(key)
+	defer node.UnblockWrites(key)
+	value, _, ok := node.FetchValue(key)
+	if !ok || len(value) == 0 || len(value) > netproto.MaxValueSize {
+		c.Metrics.FetchMisses.Inc()
+		return false
+	}
+
+	placement, err := c.alloc.Insert(key, len(value))
+	if err == cachemem.ErrNoSpace {
+		// Fragmented: reorganize the value memory and retry (§4.4.2).
+		if moves := c.alloc.Reorganize(); len(moves) > 0 {
+			c.Metrics.Reorganized.Inc()
+			for _, mv := range moves {
+				e := c.entries[mv.Key]
+				if e == nil {
+					continue
+				}
+				e.placement = mv.To
+				if err := c.cfg.Switch.MoveCacheEntry(mv.Key, e.kidx, e.port, mv); err != nil {
+					return false
+				}
+			}
+		}
+		placement, err = c.alloc.Insert(key, len(value))
+	}
+	if err != nil {
+		return false
+	}
+	kidx := c.kidx.Alloc()
+	if kidx < 0 {
+		c.alloc.Evict(key)
+		return false
+	}
+	err = c.cfg.Switch.InstallCacheEntry(switchcore.CacheEntry{
+		Key: key, Placement: placement, KeyIndex: kidx, ServerPort: port, Value: value,
+	})
+	if err != nil {
+		c.alloc.Evict(key)
+		c.kidx.Free(kidx)
+		return false
+	}
+	c.entries[key] = &entry{
+		key: key, kidx: kidx, placement: placement, addr: addr, port: port,
+		freqHint: freq, hintCycle: c.cycle,
+	}
+	c.order = append(c.order, key)
+	c.Metrics.Inserts.Inc()
+	return true
+}
+
+func (c *Controller) evictLocked(e *entry) {
+	if _, err := c.cfg.Switch.RemoveCacheEntry(e.key, e.kidx); err != nil {
+		return
+	}
+	c.alloc.Evict(e.key)
+	c.kidx.Free(e.kidx)
+	delete(c.entries, e.key)
+	for i, k := range c.order {
+		if k == e.key {
+			last := len(c.order) - 1
+			c.order[i] = c.order[last]
+			c.order = c.order[:last]
+			break
+		}
+	}
+	c.Metrics.Evictions.Inc()
+}
+
+// sampleVictimLocked samples up to SampleK cached keys and returns the one
+// with the fewest sampled hits this cycle, along with that count.
+func (c *Controller) sampleVictimLocked() (*entry, uint64) {
+	if len(c.order) == 0 {
+		return nil, 0
+	}
+	k := c.cfg.SampleK
+	if k > len(c.order) {
+		k = len(c.order)
+	}
+	var victim *entry
+	best := ^uint64(0)
+	idxs := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	ents := make([]*entry, 0, k)
+	for len(idxs) < k {
+		i := c.rng.Intn(len(c.order))
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		e := c.entries[c.order[i]]
+		idxs = append(idxs, e.kidx)
+		ents = append(ents, e)
+	}
+	for i, snap := range c.cfg.Switch.ReadCounters(idxs) {
+		hits := snap.Hits
+		if e := ents[i]; e.hintCycle == c.cycle && e.freqHint > hits {
+			hits = e.freqHint
+		}
+		if hits < best {
+			best = hits
+			victim = ents[i]
+		}
+	}
+	return victim, best
+}

@@ -1,0 +1,242 @@
+package controller_test
+
+import (
+	"testing"
+
+	"netcache/internal/controller"
+	"netcache/internal/netproto"
+	"netcache/internal/rack"
+	"netcache/internal/switchcore"
+	"netcache/internal/workload"
+)
+
+// The controller is exercised against a real rack: switch, servers and
+// fabric, with the test driving traffic and Tick cycles.
+
+func newRack(t *testing.T, capacity, sampleK int) *rack.Rack {
+	t.Helper()
+	r, err := rack.New(rack.Config{
+		Servers: 4, Clients: 1, CacheCapacity: capacity, ControllerSampleK: sampleK,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LoadDataset(500, 32)
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := controller.New(controller.Config{}); err == nil {
+		t.Error("missing switch should fail")
+	}
+	sw, err := switchcore.New(switchcore.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := controller.New(controller.Config{Switch: sw}); err == nil {
+		t.Error("missing mappings should fail")
+	}
+}
+
+func TestInsertAndEvictKey(t *testing.T) {
+	r := newRack(t, 4, 4)
+	key := workload.KeyName(1)
+	if err := r.Controller.InsertKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Controller.Cached(key) || r.Controller.Len() != 1 {
+		t.Fatal("InsertKey did not cache")
+	}
+	// Idempotent.
+	if err := r.Controller.InsertKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if r.Controller.Len() != 1 {
+		t.Error("duplicate insert changed length")
+	}
+	if !r.Controller.EvictKey(key) {
+		t.Error("EvictKey should succeed")
+	}
+	if r.Controller.EvictKey(key) {
+		t.Error("double evict should fail")
+	}
+	if r.Controller.Cached(key) {
+		t.Error("key still cached after evict")
+	}
+}
+
+func TestInsertAtCapacityFails(t *testing.T) {
+	r := newRack(t, 2, 2)
+	r.Controller.InsertKey(workload.KeyName(1))
+	r.Controller.InsertKey(workload.KeyName(2))
+	if err := r.Controller.InsertKey(workload.KeyName(3)); err == nil {
+		t.Error("insert past capacity should fail")
+	}
+}
+
+func TestInsertMissingKeySkipped(t *testing.T) {
+	r := newRack(t, 4, 4)
+	ghost := netproto.KeyFromString("not-in-any-store")
+	if err := r.Controller.InsertKey(ghost); err == nil {
+		t.Error("inserting a nonexistent key should fail")
+	}
+	if r.Controller.Metrics.FetchMisses.Value() != 1 {
+		t.Error("fetch miss not counted")
+	}
+}
+
+func TestTickCachesHottestFirst(t *testing.T) {
+	r := newRack(t, 2, 2)
+	cli := r.Client(0)
+	// Three keys cross the threshold with different intensities; only
+	// two fit.
+	for i, n := range map[int]int{10: 40, 11: 25, 12: 60} {
+		for j := 0; j < n; j++ {
+			cli.Get(workload.KeyName(i))
+		}
+	}
+	r.Tick()
+	if !r.Controller.Cached(workload.KeyName(12)) {
+		t.Error("hottest key (12) must be cached")
+	}
+	if r.Controller.Len() != 2 {
+		t.Errorf("cache len = %d, want 2", r.Controller.Len())
+	}
+	if r.Controller.Cached(workload.KeyName(11)) {
+		t.Error("coldest reported key (11) should have lost the race")
+	}
+}
+
+func TestCachedKeysSnapshot(t *testing.T) {
+	r := newRack(t, 4, 4)
+	r.Controller.InsertKey(workload.KeyName(1))
+	r.Controller.InsertKey(workload.KeyName(2))
+	keys := r.Controller.CachedKeys()
+	if len(keys) != 2 {
+		t.Fatalf("CachedKeys = %v", keys)
+	}
+	seen := map[netproto.Key]bool{}
+	for _, k := range keys {
+		seen[k] = true
+	}
+	if !seen[workload.KeyName(1)] || !seen[workload.KeyName(2)] {
+		t.Errorf("snapshot missing keys: %v", keys)
+	}
+}
+
+func TestStatisticsResetEachCycle(t *testing.T) {
+	r := newRack(t, 8, 4)
+	cli := r.Client(0)
+	key := workload.KeyName(30)
+	// Below threshold this cycle.
+	for i := 0; i < 5; i++ {
+		cli.Get(key)
+	}
+	r.Tick()
+	if r.Controller.Cached(key) {
+		t.Fatal("key below threshold should not be cached")
+	}
+	// Below threshold again next cycle: the CMS was reset, so the counts
+	// do not accumulate across cycles.
+	for i := 0; i < 5; i++ {
+		cli.Get(key)
+	}
+	r.Tick()
+	if r.Controller.Cached(key) {
+		t.Error("stats must not accumulate across cycles (CMS reset)")
+	}
+}
+
+func TestChurnManyCycles(t *testing.T) {
+	// Sustained operation: rotating hot sets over many cycles must keep
+	// the controller's bookkeeping (allocator, index pool, switch table)
+	// consistent.
+	r := newRack(t, 8, 4)
+	cli := r.Client(0)
+	for cycle := 0; cycle < 20; cycle++ {
+		base := (cycle * 13) % 300
+		for i := 0; i < 10; i++ {
+			for j := 0; j < 12; j++ {
+				cli.Get(workload.KeyName(base + i))
+			}
+		}
+		r.Tick()
+		if r.Controller.Len() > 8 {
+			t.Fatalf("cycle %d: cache overflow %d", cycle, r.Controller.Len())
+		}
+		if got := r.Switch.CacheLen(); got != r.Controller.Len() {
+			t.Fatalf("cycle %d: switch table %d != controller %d", cycle, got, r.Controller.Len())
+		}
+	}
+	if r.Controller.Metrics.Inserts.Value() == 0 || r.Controller.Metrics.Evictions.Value() == 0 {
+		t.Error("churn should have driven inserts and evictions")
+	}
+	// Every cached key must still serve correct values from the switch.
+	for _, k := range r.Controller.CachedKeys() {
+		id := workload.KeyID(k)
+		v, err := cli.Get(k)
+		if err != nil || !workload.CheckValue(id, v) {
+			t.Fatalf("cached key %d: %q %v", id, v, err)
+		}
+	}
+}
+
+func TestMixedValueSizesPackAndServe(t *testing.T) {
+	// Items of every slot count (1..8) cached simultaneously exercise the
+	// allocator's bitmap packing end to end.
+	r, err := rack.New(rack.Config{Servers: 4, Clients: 1, CacheCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := r.Client(0)
+	sizes := []int{5, 16, 17, 40, 64, 77, 100, 128}
+	for i, sz := range sizes {
+		key := workload.KeyName(i)
+		if err := cli.Put(key, workload.ValueFor(i, sz)); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Controller.InsertKey(key); err != nil {
+			t.Fatalf("insert size %d: %v", sz, err)
+		}
+	}
+	for i, sz := range sizes {
+		v, err := cli.Get(workload.KeyName(i))
+		if err != nil || len(v) != sz || !workload.CheckValue(i, v) {
+			t.Fatalf("size %d: got %d bytes, err %v", sz, len(v), err)
+		}
+	}
+}
+
+func TestInsertFailsWithoutPortMapping(t *testing.T) {
+	// A node whose address has no switch port cannot be cached.
+	sw, err := switchcore.New(switchcore.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := controller.New(controller.Config{
+		Switch:    sw,
+		Nodes:     map[netproto.Addr]controller.StorageNode{},
+		Partition: func(netproto.Key) netproto.Addr { return 1 },
+		PortOf:    func(netproto.Addr) (int, bool) { return 0, false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctl.InsertKey(workload.KeyName(1)); err == nil {
+		t.Error("insert without a known node should fail")
+	}
+	if ctl.Len() != 0 {
+		t.Error("nothing should be cached")
+	}
+}
+
+func TestTickWithNoTrafficIsHarmless(t *testing.T) {
+	r := newRack(t, 4, 4)
+	for i := 0; i < 5; i++ {
+		r.Tick()
+	}
+	if r.Controller.Len() != 0 || r.Controller.Metrics.Cycles.Value() != 5 {
+		t.Errorf("idle ticks misbehaved: len=%d cycles=%d",
+			r.Controller.Len(), r.Controller.Metrics.Cycles.Value())
+	}
+}

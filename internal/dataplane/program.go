@@ -1,0 +1,430 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FieldID names a packet-header field or per-packet metadata container (a
+// PHV container in ASIC terms). Fields are at most 64 bits; wider quantities
+// (such as NetCache's 128-bit key) are split across several fields, just as
+// real PHV containers are concatenated for wide matches.
+type FieldID int
+
+// ActionFunc is the body of a match action. It receives the packet context
+// and the action data configured on the matching entry. It runs inside the
+// stage that owns the table, so it may touch only register arrays placed in
+// that stage; placement is validated at compile time.
+type ActionFunc func(ctx *Ctx, data []uint64)
+
+// MatchKind selects the matching discipline of a table.
+type MatchKind uint8
+
+const (
+	// MatchExact is a hash-based exact match (SRAM).
+	MatchExact MatchKind = iota
+	// MatchTernary is a masked match with priorities (TCAM).
+	MatchTernary
+)
+
+// String names the match kind.
+func (m MatchKind) String() string {
+	if m == MatchExact {
+		return "exact"
+	}
+	return "ternary"
+}
+
+// Program is the logical description of a data-plane program: fields,
+// tables, and register arrays, plus parser and deparser hooks. It is built
+// once, compiled against a ChipConfig, and then driven by a Pipeline.
+type Program struct {
+	name   string
+	fields []fieldDef
+
+	tables    []*Table
+	registers []*Register
+
+	tableByName map[string]*Table
+	regByName   map[string]*Register
+
+	parser   func(raw []byte, ctx *Ctx) error
+	deparser func(ctx *Ctx, out []byte) []byte
+
+	compiled bool
+}
+
+type fieldDef struct {
+	name string
+	bits int
+}
+
+// NewProgram returns an empty program.
+func NewProgram(name string) *Program {
+	return &Program{
+		name:        name,
+		tableByName: make(map[string]*Table),
+		regByName:   make(map[string]*Register),
+	}
+}
+
+// Name returns the program name.
+func (p *Program) Name() string { return p.name }
+
+// Field declares a header or metadata field of the given width (1–64 bits)
+// and returns its ID. Redeclaring a name panics: programs are static.
+func (p *Program) Field(name string, bits int) FieldID {
+	if bits < 1 || bits > 64 {
+		panic(fmt.Sprintf("dataplane: field %q width %d out of range 1-64", name, bits))
+	}
+	for _, f := range p.fields {
+		if f.name == name {
+			panic(fmt.Sprintf("dataplane: field %q redeclared", name))
+		}
+	}
+	p.fields = append(p.fields, fieldDef{name, bits})
+	return FieldID(len(p.fields) - 1)
+}
+
+// NumFields returns the number of declared fields.
+func (p *Program) NumFields() int { return len(p.fields) }
+
+// Register declares a stateful register array and returns its handle.
+func (p *Program) Register(spec RegisterSpec) *Register {
+	if _, dup := p.regByName[spec.Name]; dup {
+		panic(fmt.Sprintf("dataplane: register %q redeclared", spec.Name))
+	}
+	r, err := newRegister(spec)
+	if err != nil {
+		panic(err)
+	}
+	p.registers = append(p.registers, r)
+	p.regByName[spec.Name] = r
+	return r
+}
+
+// SetParser installs the function that maps a raw packet into the PHV. A
+// parser returning an error drops the packet before any table executes,
+// mirroring a parser exception.
+func (p *Program) SetParser(fn func(raw []byte, ctx *Ctx) error) { p.parser = fn }
+
+// SetDeparser installs the function that reassembles the output packet from
+// the PHV; it appends to out and returns the extended slice.
+func (p *Program) SetDeparser(fn func(ctx *Ctx, out []byte) []byte) { p.deparser = fn }
+
+// TableSpec declares a match-action table.
+type TableSpec struct {
+	Name  string
+	Gress Gress
+	// MatchFields are matched in order; for exact tables their
+	// concatenation is the lookup key.
+	MatchFields []FieldID
+	Kind        MatchKind
+	// Size is the maximum number of entries; it determines the SRAM/TCAM
+	// cost charged at compile time.
+	Size int
+	// ActionDataWords is how many 64-bit action-data words each entry
+	// carries (charged against MaxActionDataBits).
+	ActionDataWords int
+	// Registers lists the register arrays the table's actions access.
+	// The compiler co-locates them with the table's stage and rejects
+	// programs where one array would be needed in two stages.
+	Registers []*Register
+	// After forces this table into a strictly later stage than the given
+	// tables (a data dependency). Independent tables may share a stage.
+	After []*Table
+	// Gate, if non-nil, predicates execution: when it returns false the
+	// table is skipped for the packet. This models control-flow
+	// predication (e.g. "only NetCache packets reach the cache tables").
+	Gate func(ctx *Ctx) bool
+}
+
+// TableBuild declares a table in the program. Tables execute in declaration
+// order within their gress (subject to stage placement); declaration order
+// is the control flow.
+func (p *Program) TableBuild(spec TableSpec) *Table {
+	if _, dup := p.tableByName[spec.Name]; dup {
+		panic(fmt.Sprintf("dataplane: table %q redeclared", spec.Name))
+	}
+	if spec.Size <= 0 {
+		panic(fmt.Sprintf("dataplane: table %q needs positive size", spec.Name))
+	}
+	if len(spec.MatchFields) == 0 && spec.Kind == MatchExact {
+		panic(fmt.Sprintf("dataplane: exact table %q needs match fields", spec.Name))
+	}
+	t := &Table{
+		spec:    spec,
+		actions: make(map[string]ActionFunc),
+		exact:   make(map[exactKey]*Entry),
+		stage:   -1,
+	}
+	p.tables = append(p.tables, t)
+	p.tableByName[spec.Name] = t
+	return t
+}
+
+// TableByName looks up a declared table; ok is false if absent.
+func (p *Program) TableByName(name string) (t *Table, ok bool) {
+	t, ok = p.tableByName[name]
+	return
+}
+
+// RegisterByName looks up a declared register array; ok is false if absent.
+func (p *Program) RegisterByName(name string) (r *Register, ok bool) {
+	r, ok = p.regByName[name]
+	return
+}
+
+// Tables returns the declared tables of one gress in execution order.
+func (p *Program) Tables(g Gress) []*Table {
+	var out []*Table
+	for _, t := range p.tables {
+		if t.spec.Gress == g {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// exactKey is the concatenated match key of an exact table. Up to four
+// 64-bit fields are supported, which covers a 128-bit key plus metadata.
+type exactKey [4]uint64
+
+// Entry is one installed table entry.
+type Entry struct {
+	// Match holds the matched field values in MatchFields order. For
+	// ternary entries Mask holds the per-field care bits.
+	Match [4]uint64
+	Mask  [4]uint64
+	// Priority orders ternary entries; higher wins.
+	Priority int
+	// Action names the registered action to run.
+	Action string
+	// Data is the per-entry action data.
+	Data []uint64
+
+	fn ActionFunc
+}
+
+// Table is a match-action table. Entry management (AddEntry/DeleteEntry) is
+// the control-plane interface; Lookup/execute is the data-plane interface.
+// The Pipeline serializes data-plane access; control-plane mutation must go
+// through Pipeline.ControlLock (the "switch driver").
+type Table struct {
+	spec    TableSpec
+	actions map[string]ActionFunc
+	def     *Entry // default action, may be nil
+
+	exact   map[exactKey]*Entry
+	ternary []*Entry // kept sorted by descending priority
+
+	stage int
+
+	hits, misses uint64
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.spec.Name }
+
+// Gress returns the table's gress.
+func (t *Table) Gress() Gress { return t.spec.Gress }
+
+// Kind returns the table's match kind.
+func (t *Table) Kind() MatchKind { return t.spec.Kind }
+
+// Size returns the table's configured capacity.
+func (t *Table) Size() int { return t.spec.Size }
+
+// Stage returns the stage the compiler placed the table in, or -1.
+func (t *Table) Stage() int { return t.stage }
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int {
+	if t.spec.Kind == MatchExact {
+		return len(t.exact)
+	}
+	return len(t.ternary)
+}
+
+// Hits and Misses report data-plane lookup statistics.
+func (t *Table) Hits() uint64 { return t.hits }
+
+// Misses reports the number of lookups that fell through to the default.
+func (t *Table) Misses() uint64 { return t.misses }
+
+// Action registers a named action implementation on the table.
+func (t *Table) Action(name string, fn ActionFunc) *Table {
+	if _, dup := t.actions[name]; dup {
+		panic(fmt.Sprintf("dataplane: table %q action %q redeclared", t.spec.Name, name))
+	}
+	t.actions[name] = fn
+	return t
+}
+
+// SetDefault installs the default action run on a lookup miss.
+func (t *Table) SetDefault(action string, data []uint64) error {
+	fn, ok := t.actions[action]
+	if !ok {
+		return fmt.Errorf("dataplane: table %q has no action %q", t.spec.Name, action)
+	}
+	t.def = &Entry{Action: action, Data: data, fn: fn}
+	return nil
+}
+
+// AddEntry installs an exact-match entry. match holds one value per match
+// field. It fails when the table is full or the action is unknown; it
+// overwrites an existing entry with the same key (the driver semantics used
+// for in-place updates).
+func (t *Table) AddEntry(match []uint64, action string, data []uint64) error {
+	if t.spec.Kind != MatchExact {
+		return fmt.Errorf("dataplane: AddEntry on ternary table %q", t.spec.Name)
+	}
+	k, err := t.key(match)
+	if err != nil {
+		return err
+	}
+	fn, ok := t.actions[action]
+	if !ok {
+		return fmt.Errorf("dataplane: table %q has no action %q", t.spec.Name, action)
+	}
+	if len(data) > t.spec.ActionDataWords {
+		return fmt.Errorf("dataplane: table %q entry carries %d action words, spec allows %d",
+			t.spec.Name, len(data), t.spec.ActionDataWords)
+	}
+	if _, exists := t.exact[k]; !exists && len(t.exact) >= t.spec.Size {
+		return fmt.Errorf("dataplane: table %q full (%d entries)", t.spec.Name, t.spec.Size)
+	}
+	e := &Entry{Action: action, Data: data, fn: fn}
+	copy(e.Match[:], match)
+	t.exact[k] = e
+	return nil
+}
+
+// DeleteEntry removes an exact-match entry; it reports whether one existed.
+func (t *Table) DeleteEntry(match []uint64) (bool, error) {
+	if t.spec.Kind != MatchExact {
+		return false, fmt.Errorf("dataplane: DeleteEntry on ternary table %q", t.spec.Name)
+	}
+	k, err := t.key(match)
+	if err != nil {
+		return false, err
+	}
+	if _, ok := t.exact[k]; !ok {
+		return false, nil
+	}
+	delete(t.exact, k)
+	return true, nil
+}
+
+// AddTernary installs a masked entry with the given priority.
+func (t *Table) AddTernary(match, mask []uint64, priority int, action string, data []uint64) error {
+	if t.spec.Kind != MatchTernary {
+		return fmt.Errorf("dataplane: AddTernary on exact table %q", t.spec.Name)
+	}
+	if len(match) != len(t.spec.MatchFields) || len(mask) != len(match) {
+		return fmt.Errorf("dataplane: table %q ternary entry arity mismatch", t.spec.Name)
+	}
+	fn, ok := t.actions[action]
+	if !ok {
+		return fmt.Errorf("dataplane: table %q has no action %q", t.spec.Name, action)
+	}
+	if len(t.ternary) >= t.spec.Size {
+		return fmt.Errorf("dataplane: table %q full (%d entries)", t.spec.Name, t.spec.Size)
+	}
+	e := &Entry{Priority: priority, Action: action, Data: data, fn: fn}
+	copy(e.Match[:], match)
+	copy(e.Mask[:], mask)
+	t.ternary = append(t.ternary, e)
+	sort.SliceStable(t.ternary, func(i, j int) bool {
+		return t.ternary[i].Priority > t.ternary[j].Priority
+	})
+	return nil
+}
+
+func (t *Table) key(match []uint64) (exactKey, error) {
+	var k exactKey
+	if len(match) != len(t.spec.MatchFields) {
+		return k, fmt.Errorf("dataplane: table %q expects %d match values, got %d",
+			t.spec.Name, len(t.spec.MatchFields), len(match))
+	}
+	if len(match) > len(k) {
+		return k, fmt.Errorf("dataplane: table %q match wider than %d fields", t.spec.Name, len(k))
+	}
+	copy(k[:], match)
+	return k, nil
+}
+
+// apply executes the table on ctx: gate, lookup, action. It reports whether
+// an installed (non-default) entry matched.
+func (t *Table) apply(ctx *Ctx) bool {
+	if t.spec.Gate != nil && !t.spec.Gate(ctx) {
+		if ctx.trace != nil {
+			*ctx.trace = append(*ctx.trace, TraceEvent{
+				Gress: t.spec.Gress, Stage: t.stage, Table: t.spec.Name, Skipped: true,
+			})
+		}
+		return false
+	}
+	var e *Entry
+	switch t.spec.Kind {
+	case MatchExact:
+		var k exactKey
+		for i, f := range t.spec.MatchFields {
+			k[i] = ctx.phv[f]
+		}
+		e = t.exact[k]
+	case MatchTernary:
+		for _, cand := range t.ternary {
+			ok := true
+			for i, f := range t.spec.MatchFields {
+				if ctx.phv[f]&cand.Mask[i] != cand.Match[i]&cand.Mask[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				e = cand
+				break
+			}
+		}
+	}
+	if e == nil {
+		t.misses++
+		if ctx.trace != nil {
+			ev := TraceEvent{Gress: t.spec.Gress, Stage: t.stage, Table: t.spec.Name}
+			if t.def != nil {
+				ev.Action = t.def.Action
+			}
+			*ctx.trace = append(*ctx.trace, ev)
+		}
+		if t.def != nil {
+			t.def.fn(ctx, t.def.Data)
+		}
+		return false
+	}
+	t.hits++
+	if ctx.trace != nil {
+		*ctx.trace = append(*ctx.trace, TraceEvent{
+			Gress: t.spec.Gress, Stage: t.stage, Table: t.spec.Name,
+			Matched: true, Action: e.Action,
+		})
+	}
+	e.fn(ctx, e.Data)
+	return true
+}
+
+// matchBytes is the SRAM/TCAM key width charged per entry.
+func (t *Table) matchBytes() int {
+	bits := 0
+	for range t.spec.MatchFields {
+		bits += 64 // charged at container width, like real PHV packing
+	}
+	return (bits + 7) / 8
+}
+
+// costBytes is the memory charged for the full table at capacity: per entry,
+// the match key plus action data plus a pointer/overhead word.
+func (t *Table) costBytes() int {
+	per := t.matchBytes() + t.spec.ActionDataWords*8 + 8
+	return per * t.spec.Size
+}

@@ -1,0 +1,174 @@
+package dataplane
+
+import "fmt"
+
+// Register is a stateful register array owned by exactly one stage of one
+// gress. The data plane reads and writes it at line rate; the control plane
+// reads and writes it through the switch driver (§4.4.2).
+//
+// Slot widths of 1–64 bits are stored bit-packed; 128-bit slots (the value
+// slots of NetCache) are stored as byte slices. A register array may be
+// accessed at most once per packet, and at most MaxRegisterAccessBytes per
+// access — the ASIC timing constraints that shape the NetCache design.
+type Register struct {
+	name     string
+	gress    Gress
+	slots    int
+	slotBits int
+
+	// exactly one of the two backings is non-nil
+	words []uint64 // slotBits <= 64, bit-packed
+	bytes []byte   // slotBits == 128
+
+	stage int // assigned at compile time, -1 before
+}
+
+// RegisterSpec declares a register array in a Program.
+type RegisterSpec struct {
+	Name     string
+	Gress    Gress
+	Slots    int
+	SlotBits int // 1..64, or 128
+}
+
+func newRegister(spec RegisterSpec) (*Register, error) {
+	if spec.Slots <= 0 {
+		return nil, fmt.Errorf("dataplane: register %q needs positive slot count", spec.Name)
+	}
+	ok := spec.SlotBits >= 1 && spec.SlotBits <= 64 || spec.SlotBits == 128
+	if !ok {
+		return nil, fmt.Errorf("dataplane: register %q slot width %d unsupported (1-64 or 128 bits)", spec.Name, spec.SlotBits)
+	}
+	r := &Register{
+		name:     spec.Name,
+		gress:    spec.Gress,
+		slots:    spec.Slots,
+		slotBits: spec.SlotBits,
+		stage:    -1,
+	}
+	if spec.SlotBits == 128 {
+		r.bytes = make([]byte, spec.Slots*16)
+	} else {
+		totalBits := spec.Slots * spec.SlotBits
+		r.words = make([]uint64, (totalBits+63)/64)
+	}
+	return r, nil
+}
+
+// Name returns the register array's name.
+func (r *Register) Name() string { return r.name }
+
+// Slots returns the number of slots.
+func (r *Register) Slots() int { return r.slots }
+
+// SlotBits returns the width of each slot in bits.
+func (r *Register) SlotBits() int { return r.slotBits }
+
+// SizeBytes returns the SRAM the array consumes.
+func (r *Register) SizeBytes() int { return (r.slots*r.slotBits + 7) / 8 }
+
+// Stage returns the stage index the array was placed in, or -1 if the
+// program has not been compiled.
+func (r *Register) Stage() int { return r.stage }
+
+// Get returns the value of slot idx for arrays of width <= 64 bits.
+func (r *Register) Get(idx int) uint64 {
+	r.checkIdx(idx)
+	if r.words == nil {
+		panic(fmt.Sprintf("dataplane: Get on 128-bit register %q; use GetBytes", r.name))
+	}
+	bitPos := idx * r.slotBits
+	word, off := bitPos/64, bitPos%64
+	mask := r.mask()
+	v := r.words[word] >> off
+	if off+r.slotBits > 64 {
+		v |= r.words[word+1] << (64 - off)
+	}
+	return v & mask
+}
+
+// Set stores v into slot idx, truncating to the slot width.
+func (r *Register) Set(idx int, v uint64) {
+	r.checkIdx(idx)
+	if r.words == nil {
+		panic(fmt.Sprintf("dataplane: Set on 128-bit register %q; use SetBytes", r.name))
+	}
+	bitPos := idx * r.slotBits
+	word, off := bitPos/64, bitPos%64
+	mask := r.mask()
+	v &= mask
+	r.words[word] = r.words[word]&^(mask<<off) | v<<off
+	if off+r.slotBits > 64 {
+		hiBits := r.slotBits - (64 - off)
+		hiMask := uint64(1)<<hiBits - 1
+		r.words[word+1] = r.words[word+1]&^hiMask | v>>(64-off)
+	}
+}
+
+// AddSat adds delta to slot idx with saturation at the slot's maximum —
+// the semantics of the ASIC's counter ALU (a 16-bit counter sticks at 0xFFFF
+// rather than wrapping, §4.4.3).
+func (r *Register) AddSat(idx int, delta uint64) uint64 {
+	cur := r.Get(idx)
+	maxVal := r.mask()
+	if cur > maxVal-delta {
+		r.Set(idx, maxVal)
+		return maxVal
+	}
+	r.Set(idx, cur+delta)
+	return cur + delta
+}
+
+// GetBytes copies slot idx of a 128-bit array into dst and returns the number
+// of bytes copied (always 16).
+func (r *Register) GetBytes(idx int, dst []byte) int {
+	r.checkIdx(idx)
+	if r.bytes == nil {
+		panic(fmt.Sprintf("dataplane: GetBytes on narrow register %q; use Get", r.name))
+	}
+	return copy(dst, r.bytes[idx*16:idx*16+16])
+}
+
+// SetBytes stores src (up to 16 bytes, zero-padded) into slot idx of a
+// 128-bit array.
+func (r *Register) SetBytes(idx int, src []byte) {
+	r.checkIdx(idx)
+	if r.bytes == nil {
+		panic(fmt.Sprintf("dataplane: SetBytes on narrow register %q; use Set", r.name))
+	}
+	if len(src) > 16 {
+		panic(fmt.Sprintf("dataplane: SetBytes %d bytes exceeds 16-byte slot of %q", len(src), r.name))
+	}
+	slot := r.bytes[idx*16 : idx*16+16]
+	n := copy(slot, src)
+	for i := n; i < 16; i++ {
+		slot[i] = 0
+	}
+}
+
+// Reset zeroes every slot. The controller uses this to clear statistics
+// arrays periodically (§4.4.3).
+func (r *Register) Reset() {
+	if r.words != nil {
+		for i := range r.words {
+			r.words[i] = 0
+		}
+		return
+	}
+	for i := range r.bytes {
+		r.bytes[i] = 0
+	}
+}
+
+func (r *Register) mask() uint64 {
+	if r.slotBits == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<r.slotBits - 1
+}
+
+func (r *Register) checkIdx(idx int) {
+	if idx < 0 || idx >= r.slots {
+		panic(fmt.Sprintf("dataplane: register %q index %d out of range [0,%d)", r.name, idx, r.slots))
+	}
+}

@@ -1,0 +1,328 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ctx is the per-packet execution context: the PHV (parsed header fields and
+// metadata), forwarding decisions, and the value scratch buffer that NetCache
+// stages append register data to. A Ctx is valid only for the duration of one
+// Pipeline.Process call.
+type Ctx struct {
+	phv []uint64
+
+	// InPort is the front-panel port the packet arrived on.
+	InPort int
+	// EgressPort is the port chosen by the ingress pipeline; it selects
+	// the egress pipe through the traffic manager.
+	EgressPort int
+	// finalPort, when >= 0, overrides EgressPort at emission time: the
+	// packet-mirroring mechanism NetCache uses to bounce cache-hit
+	// replies back to the client-facing upstream port (§4.4.4).
+	finalPort int
+
+	dropped bool
+
+	// ValueBuf accumulates value bytes appended by the egress value
+	// tables (Fig. 6b: "data in the register arrays is appended to the
+	// value field").
+	ValueBuf []byte
+
+	// Raw is the original packet, available to parser and deparser.
+	Raw []byte
+
+	digests [][]byte
+
+	// register single-access enforcement
+	stage    int
+	gress    Gress
+	accessed []uint32
+	epoch    uint32
+	pl       *Pipeline
+
+	// trace, when non-nil, collects per-table execution events
+	// (ProcessTraced).
+	trace *Trace
+}
+
+// Get returns the value of field f.
+func (c *Ctx) Get(f FieldID) uint64 { return c.phv[f] }
+
+// Set assigns field f.
+func (c *Ctx) Set(f FieldID, v uint64) { c.phv[f] = v }
+
+// Drop marks the packet to be discarded.
+func (c *Ctx) Drop() { c.dropped = true }
+
+// Dropped reports whether the packet has been marked for discard.
+func (c *Ctx) Dropped() bool { return c.dropped }
+
+// Mirror redirects the final emission to port, modeling egress packet
+// mirroring. The packet still traversed — and consumed — its original egress
+// pipe, which the pipe counters reflect.
+func (c *Ctx) Mirror(port int) { c.finalPort = port }
+
+// Digest queues a message for the control plane (a learn digest). NetCache
+// uses it to deliver hot-key reports to the controller (§4.4.3). The payload
+// is copied.
+func (c *Ctx) Digest(payload []byte) {
+	c.digests = append(c.digests, append([]byte(nil), payload...))
+}
+
+// register access helpers — the data-plane view of register arrays. They
+// enforce the two ASIC constraints the paper designs around: an array is
+// usable only from its home stage, and only once per packet.
+
+func (c *Ctx) checkReg(r *Register) {
+	if r.stage != c.stage || r.gress != c.gress {
+		panic(fmt.Sprintf("dataplane: register %q (stage %d %s) accessed from stage %d %s",
+			r.name, r.stage, r.gress, c.stage, c.gress))
+	}
+	id := c.pl.regID[r]
+	if c.accessed[id] == c.epoch {
+		panic(fmt.Sprintf("dataplane: register %q accessed twice by one packet", r.name))
+	}
+	c.accessed[id] = c.epoch
+}
+
+// RegGet reads slot idx of r from the data plane.
+func (c *Ctx) RegGet(r *Register, idx int) uint64 {
+	c.checkReg(r)
+	return r.Get(idx)
+}
+
+// RegSet writes slot idx of r from the data plane.
+func (c *Ctx) RegSet(r *Register, idx int, v uint64) {
+	c.checkReg(r)
+	r.Set(idx, v)
+}
+
+// RegAdd saturating-adds delta to slot idx and returns the new value.
+func (c *Ctx) RegAdd(r *Register, idx int, delta uint64) uint64 {
+	c.checkReg(r)
+	return r.AddSat(idx, delta)
+}
+
+// RegReadModify reads slot idx, applies fn, writes the result back, and
+// returns the pair — the single read-modify-write a stage ALU performs.
+func (c *Ctx) RegReadModify(r *Register, idx int, fn func(old uint64) uint64) (old, new uint64) {
+	c.checkReg(r)
+	old = r.Get(idx)
+	new = fn(old)
+	r.Set(idx, new)
+	return old, new
+}
+
+// RegAppendBytes reads the 16-byte slot idx of a 128-bit array and appends
+// the first n bytes to ValueBuf — the value-stage behavior of Fig. 6b.
+func (c *Ctx) RegAppendBytes(r *Register, idx, n int) {
+	c.checkReg(r)
+	var tmp [16]byte
+	r.GetBytes(idx, tmp[:])
+	if n > 16 {
+		n = 16
+	}
+	c.ValueBuf = append(c.ValueBuf, tmp[:n]...)
+}
+
+// RegSetBytes writes src into the 16-byte slot idx of a 128-bit array.
+func (c *Ctx) RegSetBytes(r *Register, idx int, src []byte) {
+	c.checkReg(r)
+	r.SetBytes(idx, src)
+}
+
+// Emitted is one packet leaving the switch.
+type Emitted struct {
+	Port  int
+	Frame []byte
+}
+
+// Counters aggregates the pipeline's packet accounting.
+type Counters struct {
+	RxPackets    uint64
+	TxPackets    uint64
+	ParseDrops   uint64
+	PipeDrops    uint64
+	Mirrored     uint64
+	Digests      uint64
+	ByEgressPipe []uint64 // packets that consumed each egress pipe
+}
+
+// Pipeline is a compiled program bound to a chip configuration: the
+// executable switch. Process is the data-plane entry point; the *_Control
+// methods are the switch-driver (control-plane) interface. All access is
+// serialized by an internal mutex, standing in for the hardware's atomic
+// per-stage operation.
+type Pipeline struct {
+	mu   sync.Mutex
+	prog *Program
+	cfg  ChipConfig
+
+	ingress *compiledGress
+	egress  *compiledGress
+
+	regID map[*Register]int
+
+	digestFn func(payload []byte)
+
+	ctr Counters
+
+	ctxPool sync.Pool
+}
+
+func newPipeline(p *Program, cfg ChipConfig, in, eg *compiledGress) *Pipeline {
+	pl := &Pipeline{
+		prog:    p,
+		cfg:     cfg,
+		ingress: in,
+		egress:  eg,
+		regID:   make(map[*Register]int, len(p.registers)),
+	}
+	pl.ctr.ByEgressPipe = make([]uint64, cfg.Pipes)
+	for i, r := range p.registers {
+		pl.regID[r] = i
+	}
+	nFields, nRegs := len(p.fields), len(p.registers)
+	pl.ctxPool.New = func() any {
+		return &Ctx{
+			phv:      make([]uint64, nFields),
+			accessed: make([]uint32, nRegs),
+			ValueBuf: make([]byte, 0, 160),
+			pl:       pl,
+		}
+	}
+	return pl
+}
+
+// Config returns the chip configuration the pipeline was compiled for.
+func (pl *Pipeline) Config() ChipConfig { return pl.cfg }
+
+// Program returns the compiled program.
+func (pl *Pipeline) Program() *Program { return pl.prog }
+
+// OnDigest registers the control-plane digest receiver. It is invoked
+// synchronously during Process while the pipeline lock is held; handlers
+// must not call back into the pipeline and should hand off quickly.
+func (pl *Pipeline) OnDigest(fn func(payload []byte)) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.digestFn = fn
+}
+
+// Process runs one packet through the switch: parser, ingress pipe of the
+// arrival port, traffic manager, egress pipe of the chosen port, deparser.
+// It returns the emitted packets (zero if dropped, one normally).
+func (pl *Pipeline) Process(raw []byte, inPort int) ([]Emitted, error) {
+	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
+		return nil, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+
+	pl.ctr.RxPackets++
+
+	ctx := pl.ctxPool.Get().(*Ctx)
+	defer pl.ctxPool.Put(ctx)
+	ctx.reset(inPort, raw)
+
+	if err := pl.prog.parser(raw, ctx); err != nil {
+		pl.ctr.ParseDrops++
+		return nil, nil // parser exceptions drop silently, like hardware
+	}
+
+	ctx.gress = Ingress
+	pl.run(pl.ingress, ctx)
+	if ctx.dropped {
+		pl.ctr.PipeDrops++
+		pl.flushDigests(ctx)
+		return nil, nil
+	}
+
+	if ctx.EgressPort < 0 || ctx.EgressPort >= pl.cfg.NumPorts() {
+		pl.ctr.PipeDrops++
+		pl.flushDigests(ctx)
+		return nil, nil
+	}
+	pl.ctr.ByEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)]++
+
+	ctx.gress = Egress
+	pl.run(pl.egress, ctx)
+	if ctx.dropped {
+		pl.ctr.PipeDrops++
+		pl.flushDigests(ctx)
+		return nil, nil
+	}
+
+	out := pl.prog.deparser(ctx, make([]byte, 0, len(raw)+len(ctx.ValueBuf)+16))
+	port := ctx.EgressPort
+	if ctx.finalPort >= 0 {
+		port = ctx.finalPort
+		pl.ctr.Mirrored++
+	}
+	pl.ctr.TxPackets++
+	pl.flushDigests(ctx)
+	return []Emitted{{Port: port, Frame: out}}, nil
+}
+
+func (pl *Pipeline) run(g *compiledGress, ctx *Ctx) {
+	for si := range g.stages {
+		ctx.stage = si
+		for _, t := range g.stages[si].tables {
+			t.apply(ctx)
+			if ctx.dropped {
+				return
+			}
+		}
+	}
+}
+
+func (pl *Pipeline) flushDigests(ctx *Ctx) {
+	if len(ctx.digests) == 0 {
+		return
+	}
+	pl.ctr.Digests += uint64(len(ctx.digests))
+	if pl.digestFn != nil {
+		for _, d := range ctx.digests {
+			pl.digestFn(d)
+		}
+	}
+	ctx.digests = ctx.digests[:0]
+}
+
+func (c *Ctx) reset(inPort int, raw []byte) {
+	for i := range c.phv {
+		c.phv[i] = 0
+	}
+	c.InPort = inPort
+	c.EgressPort = -1
+	c.finalPort = -1
+	c.dropped = false
+	c.ValueBuf = c.ValueBuf[:0]
+	c.Raw = raw
+	c.digests = c.digests[:0]
+	c.epoch++
+	if c.epoch == 0 { // wrapped: clear stale marks
+		for i := range c.accessed {
+			c.accessed[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+// Control runs fn while holding the pipeline lock — the switch-driver
+// critical section the controller uses for table and register updates.
+func (pl *Pipeline) Control(fn func()) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	fn()
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (pl *Pipeline) Stats() Counters {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	c := pl.ctr
+	c.ByEgressPipe = append([]uint64(nil), pl.ctr.ByEgressPipe...)
+	return c
+}

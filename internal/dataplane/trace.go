@@ -1,0 +1,92 @@
+package dataplane
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEvent records one table execution during a traced Process call — the
+// equivalent of a switch OS's packet-trace debugging facility.
+type TraceEvent struct {
+	Gress   Gress
+	Stage   int
+	Table   string
+	Skipped bool // gate predicated the table off
+	Matched bool // an installed entry matched (false: default action ran)
+	Action  string
+}
+
+// String renders one event compactly.
+func (e TraceEvent) String() string {
+	switch {
+	case e.Skipped:
+		return fmt.Sprintf("%s[%d] %s: skipped", e.Gress, e.Stage, e.Table)
+	case e.Matched:
+		return fmt.Sprintf("%s[%d] %s: hit -> %s", e.Gress, e.Stage, e.Table, e.Action)
+	case e.Action != "":
+		return fmt.Sprintf("%s[%d] %s: miss -> default %s", e.Gress, e.Stage, e.Table, e.Action)
+	default:
+		return fmt.Sprintf("%s[%d] %s: miss (no default)", e.Gress, e.Stage, e.Table)
+	}
+}
+
+// Trace is the table-by-table history of one packet.
+type Trace []TraceEvent
+
+// String renders the whole trace, one event per line.
+func (tr Trace) String() string {
+	var b strings.Builder
+	for _, e := range tr {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ProcessTraced is Process with per-table tracing: it returns the emitted
+// packets plus the execution history. Slower than Process; intended for
+// debugging and tests, not the data path.
+func (pl *Pipeline) ProcessTraced(raw []byte, inPort int) ([]Emitted, Trace, error) {
+	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
+		return nil, nil, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+
+	pl.ctr.RxPackets++
+	ctx := pl.ctxPool.Get().(*Ctx)
+	defer pl.ctxPool.Put(ctx)
+	ctx.reset(inPort, raw)
+	var trace Trace
+	ctx.trace = &trace
+	defer func() { ctx.trace = nil }()
+
+	if err := pl.prog.parser(raw, ctx); err != nil {
+		pl.ctr.ParseDrops++
+		return nil, trace, nil
+	}
+	ctx.gress = Ingress
+	pl.run(pl.ingress, ctx)
+	if !ctx.dropped && ctx.EgressPort >= 0 && ctx.EgressPort < pl.cfg.NumPorts() {
+		pl.ctr.ByEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)]++
+		ctx.gress = Egress
+		pl.run(pl.egress, ctx)
+	} else {
+		ctx.dropped = true
+	}
+	if ctx.dropped {
+		pl.ctr.PipeDrops++
+		pl.flushDigests(ctx)
+		return nil, trace, nil
+	}
+
+	out := pl.prog.deparser(ctx, make([]byte, 0, len(raw)+len(ctx.ValueBuf)+16))
+	port := ctx.EgressPort
+	if ctx.finalPort >= 0 {
+		port = ctx.finalPort
+		pl.ctr.Mirrored++
+	}
+	pl.ctr.TxPackets++
+	pl.flushDigests(ctx)
+	return []Emitted{{Port: port, Frame: out}}, trace, nil
+}

@@ -1,0 +1,277 @@
+// Package harness regenerates the NetCache evaluation (SOSP'17 §7): every
+// figure of the paper has a corresponding experiment here.
+//
+// The harness uses two layers, cleanly separated (see DESIGN.md §4):
+//
+//   - Experiments about *switch behavior* (Fig. 9, Fig. 11) execute real
+//     packets through the compiled switch pipeline, with the real
+//     statistics engine and controller in the loop.
+//
+//   - Experiments about *paper-scale capacity* (Fig. 10) evaluate the same
+//     workload mathematics the paper's server-rotation methodology relies
+//     on: per-partition load shares from the exact Zipf pmf, saturated
+//     throughput by bottleneck analysis, and an M/M/1-style latency model,
+//     with component capacities calibrated to the paper's hardware
+//     (10 MQPS per storage server, 35 MQPS per client NIC, 1 BQPS per
+//     switch pipe). Absolute numbers are therefore the paper's scale, while
+//     shapes emerge from the actual skew computations.
+package harness
+
+import (
+	"math"
+	"sync"
+
+	"netcache/internal/client"
+	"netcache/internal/workload"
+)
+
+// Calibration constants from the paper's testbed (§6–§7).
+const (
+	// ServerQPS is the per-server throughput of the TommyDS-based store.
+	ServerQPS = 10e6
+	// ClientQPS is the maximum query rate of one DPDK client NIC.
+	ClientQPS = 35e6
+	// ChipQPS is the aggregate packet rate of the Tofino (>4 BQPS).
+	ChipQPS = 4.2e9
+	// PipeQPS bounds a single egress pipe (§4.4.4).
+	PipeQPS = 1e9
+	// HitLatencySec is the end-to-end latency of a switch-served read
+	// (§7.3: "the 7µs query latency is mostly caused by the client").
+	HitLatencySec = 7e-6
+	// ServerLatencySec is the unloaded server-path latency (§7.3).
+	ServerLatencySec = 15e-6
+	// CoherenceWindowSec approximates how long a cached entry stays
+	// invalid after a write before the data-plane refresh lands: the
+	// DPDK server agent's turnaround plus one switch traversal.
+	// Calibrated so that the skewed-write crossover of Fig. 10d lands
+	// near the paper's write ratio of 0.2 (see EXPERIMENTS.md).
+	CoherenceWindowSec = 0.5e-6
+)
+
+// RackModel describes the modeled key-value rack of §7.3: 128 partitions, a
+// large hash-partitioned keyspace, and a bounded switch cache.
+type RackModel struct {
+	// Partitions is the number of storage servers (or per-core shards).
+	Partitions int
+	// Keys is the keyspace size.
+	Keys int
+	// CacheSize is the number of cached items.
+	CacheSize int
+	// Theta is the read-skew parameter (0 = uniform).
+	Theta float64
+
+	// HeadRanks bounds how many top ranks are attributed to partitions
+	// exactly; the remaining tail is uniform across partitions to within
+	// O(1/sqrt) fluctuations, which the model ignores. Zero means 65536.
+	HeadRanks int
+}
+
+// defaultHeadRanks is the exactly-attributed head when HeadRanks is zero;
+// beyond it the per-key mass at the paper's keyspace sizes is far below the
+// per-partition fair share, so the uniform-tail approximation is safe.
+const defaultHeadRanks = 65536
+
+// headRanks resolves the effective head size.
+func (m RackModel) headRanks() int {
+	head := m.HeadRanks
+	if head == 0 {
+		head = defaultHeadRanks
+	}
+	if head > m.Keys {
+		head = m.Keys
+	}
+	return head
+}
+
+// PaperRack returns the §7.3 configuration: 128 partitions and a cache of
+// 10,000 items over a web-scale keyspace.
+func PaperRack(theta float64) RackModel {
+	return RackModel{Partitions: 128, Keys: 100_000_000, CacheSize: 10_000, Theta: theta}
+}
+
+// zetaApprox computes the generalized harmonic number H_{n,theta} with an
+// exact head sum and an Euler–Maclaurin tail, accurate to ~1e-9 for the
+// magnitudes used here.
+func zetaApprox(n int, theta float64) float64 {
+	const exact = 65536
+	if n <= exact {
+		sum := 0.0
+		for i := 1; i <= n; i++ {
+			sum += math.Pow(float64(i), -theta)
+		}
+		return sum
+	}
+	sum := zetaApprox(exact, theta)
+	a, b := float64(exact), float64(n)
+	// ∫ x^-θ dx + trapezoid endpoint correction.
+	if theta == 1 {
+		sum += math.Log(b / a)
+	} else {
+		sum += (math.Pow(b, 1-theta) - math.Pow(a, 1-theta)) / (1 - theta)
+	}
+	sum += 0.5 * (math.Pow(b, -theta) - math.Pow(a, -theta))
+	return sum
+}
+
+// zetaCached memoizes zetaApprox: Prob is called from tight loops over
+// hundreds of thousands of ranks.
+var zetaMemo sync.Map
+
+func zetaCached(n int, theta float64) float64 {
+	key := [2]float64{float64(n), theta}
+	if v, ok := zetaMemo.Load(key); ok {
+		return v.(float64)
+	}
+	v := zetaApprox(n, theta)
+	zetaMemo.Store(key, v)
+	return v
+}
+
+// Prob returns the pmf of rank i (0-based) under the model's Zipf law.
+func (m RackModel) Prob(rank int) float64 {
+	if m.Theta == 0 {
+		return 1 / float64(m.Keys)
+	}
+	return math.Pow(float64(rank+1), -m.Theta) / zetaCached(m.Keys, m.Theta)
+}
+
+// HitRatio returns the fraction of reads absorbed by caching the top
+// CacheSize ranks.
+func (m RackModel) HitRatio() float64 {
+	if m.CacheSize <= 0 {
+		return 0
+	}
+	c := m.CacheSize
+	if c > m.Keys {
+		c = m.Keys
+	}
+	if m.Theta == 0 {
+		return float64(c) / float64(m.Keys)
+	}
+	return zetaCached(c, m.Theta) / zetaCached(m.Keys, m.Theta)
+}
+
+// HeadPartitions returns the partition index of each of the head hottest
+// ranks under the shared hash, memoized: the analytic models walk these
+// mappings inside bisection loops.
+func HeadPartitions(partitions, head int) []int32 {
+	key := [2]int{partitions, head}
+	if v, ok := partMemo.Load(key); ok {
+		return v.([]int32)
+	}
+	out := make([]int32, head)
+	for rank := 0; rank < head; rank++ {
+		out[rank] = int32(client.PartitionOf(workload.KeyName(rank), partitions))
+	}
+	partMemo.Store(key, out)
+	return out
+}
+
+var partMemo sync.Map
+
+// Shares computes per-partition load shares of the read workload.
+// If cached is true, the top CacheSize ranks contribute nothing (absorbed by
+// the switch). The head ranks are attributed exactly; the tail is spread
+// uniformly.
+func (m RackModel) Shares(cached bool) []float64 {
+	head := m.headRanks()
+	shares := make([]float64, m.Partitions)
+	parts := HeadPartitions(m.Partitions, head)
+	headMass := 0.0
+	for rank := 0; rank < head; rank++ {
+		p := m.Prob(rank)
+		headMass += p
+		if cached && rank < m.CacheSize {
+			continue
+		}
+		shares[parts[rank]] += p
+	}
+	tail := (1 - headMass) / float64(m.Partitions)
+	for i := range shares {
+		shares[i] += tail
+	}
+	return shares
+}
+
+// maxShare returns the largest element.
+func maxShare(shares []float64) float64 {
+	m := 0.0
+	for _, s := range shares {
+		if s > m {
+			m = s
+		}
+	}
+	return m
+}
+
+// StaticResult is the outcome of a read-only saturation analysis.
+type StaticResult struct {
+	// TotalQPS is the saturated aggregate throughput.
+	TotalQPS float64
+	// CacheQPS and ServerQPS split the total between switch and servers.
+	CacheQPS  float64
+	ServerQPS float64
+	// HitRatio is the cache hit fraction.
+	HitRatio float64
+	// PerServerQPS is each partition's served load at saturation.
+	PerServerQPS []float64
+}
+
+// StaticThroughput computes the saturated read-only throughput of the rack,
+// with and without the switch cache — the §7.1 server-rotation methodology:
+// raise the offered load until the bottleneck partition reaches its
+// capacity, then aggregate.
+func (m RackModel) StaticThroughput(withCache bool) StaticResult {
+	mm := m
+	if !withCache {
+		mm.CacheSize = 0
+	}
+	shares := mm.Shares(withCache)
+	hit := 0.0
+	if withCache {
+		hit = mm.HitRatio()
+	}
+	ms := maxShare(shares)
+	// Offered load at which the bottleneck partition saturates.
+	total := ServerQPS / ms
+	// The switch bounds the cache-served portion.
+	if hit > 0 && total*hit > ChipQPS {
+		total = ChipQPS / hit
+	}
+	res := StaticResult{
+		TotalQPS:  total,
+		CacheQPS:  total * hit,
+		ServerQPS: total * (1 - hit),
+		HitRatio:  hit,
+	}
+	res.PerServerQPS = make([]float64, len(shares))
+	for i, s := range shares {
+		res.PerServerQPS[i] = total * s
+	}
+	return res
+}
+
+// AvgLatency models the mean query latency at the given offered load
+// (Fig. 10c): cache hits cost HitLatencySec; server-path queries cost the
+// unloaded server latency inflated by an M/M/1-style queueing factor at the
+// bottleneck partition. Past saturation the latency diverges (the paper's
+// "queries infinitely queued up").
+func (m RackModel) AvgLatency(offeredQPS float64, withCache bool) float64 {
+	mm := m
+	if !withCache {
+		mm.CacheSize = 0
+	}
+	hit := 0.0
+	if withCache {
+		hit = mm.HitRatio()
+	}
+	shares := mm.Shares(withCache)
+	rho := offeredQPS * maxShare(shares) / ServerQPS
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	// M/M/1: waiting scales the service tail; at low load the latency is
+	// the unloaded 15µs, diverging as rho→1.
+	serverLat := ServerLatencySec * (1 + rho/(1-rho)*0.25)
+	return hit*HitLatencySec + (1-hit)*serverLat
+}

@@ -1,0 +1,191 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"netcache/internal/cachemem"
+	"netcache/internal/netproto"
+	"netcache/internal/switchcore"
+	"netcache/internal/workload"
+)
+
+// Snake test — the §7.1/§7.2 switch microbenchmark behind Fig. 9.
+//
+// In the paper's testbed, two servers and 62 looped-back ports force every
+// query packet to traverse the switch 32 times, with the value read (or the
+// update applied) at every pass; the servers verify the values end to end.
+// Here the same traversal runs against the compiled pipeline: each query is
+// re-presented at successive ports with the source address advanced one hop,
+// exactly what the loopback cables do, and the final hop's reply is
+// verified.
+//
+// Two throughput numbers come out:
+//
+//   - MeasuredPPS: pipeline passes per second of this Go process — the
+//     scaled, honest measurement.
+//   - ModeledQPS: the paper-scale number from the chip's clock model. Once
+//     the program compiles within the pipeline's resource budget, every pipe
+//     forwards one packet per clock regardless of value size or cache size,
+//     so the modeled rate is bounded by the generators, as in the paper:
+//     2 clients × 35 MQPS × 32 traversals = 2.24 BQPS, below the >4 BQPS
+//     chip ceiling.
+
+// SnakeConfig parameterizes one snake run.
+type SnakeConfig struct {
+	// ValueSize is the cached value size in bytes (Fig. 9a sweeps it).
+	ValueSize int
+	// CacheItems is the number of installed items (Fig. 9b sweeps it;
+	// the prototype's 64K is scaled down — line-rate behavior does not
+	// depend on it, which is the point of the figure).
+	CacheItems int
+	// Queries is how many distinct queries to snake through the switch.
+	Queries int
+	// UpdateEvery makes every n-th query a cache update instead of a
+	// read (the paper's mix of "read and update queries"). Zero disables
+	// updates.
+	UpdateEvery int
+	// Hops is the number of switch traversals per query (32 in the
+	// paper's 64-port snake).
+	Hops int
+}
+
+// SnakeResult is the outcome of a snake run.
+type SnakeResult struct {
+	Cfg         SnakeConfig
+	Passes      int
+	Elapsed     time.Duration
+	MeasuredPPS float64
+	ModeledQPS  float64
+	// Verified counts end-of-snake value verifications (must equal the
+	// number of read queries).
+	Verified int
+}
+
+// RunSnake executes the snake microbenchmark and verifies every reply.
+func RunSnake(cfg SnakeConfig) (SnakeResult, error) {
+	if cfg.Hops <= 0 {
+		cfg.Hops = 32
+	}
+	if cfg.Queries <= 0 {
+		cfg.Queries = 2000
+	}
+	res := SnakeResult{Cfg: cfg}
+
+	swCfg := switchcore.TestConfig()
+	if cfg.CacheItems > swCfg.CacheSize {
+		swCfg.CacheSize = 1 << 16
+		swCfg.ValueSlots = 1 << 16
+	}
+	swCfg.SampleRate = 0 // statistics off: this benchmark isolates the value path
+	// The snake replays each update at every port; the ownership guard
+	// would reject all but the owner's pass.
+	swCfg.AllowForeignUpdates = true
+	sw, err := switchcore.New(swCfg)
+	if err != nil {
+		return res, err
+	}
+	nPorts := swCfg.Chip.NumPorts()
+	if cfg.Hops+1 >= nPorts {
+		return res, fmt.Errorf("harness: %d hops exceed %d ports", cfg.Hops, nPorts)
+	}
+	for p := 0; p < nPorts; p++ {
+		if err := sw.InstallRoute(netproto.Addr(p+1), p); err != nil {
+			return res, err
+		}
+	}
+
+	// Populate the cache. Every key's value lives behind "server port"
+	// cfg.Hops (the last port), like the far-end server of the snake.
+	alloc, err := cachemem.New(sw.AllocatorConfig())
+	if err != nil {
+		return res, err
+	}
+	for i := 0; i < cfg.CacheItems; i++ {
+		key := workload.KeyName(i)
+		pl, err := alloc.Insert(key, cfg.ValueSize)
+		if err != nil {
+			return res, err
+		}
+		err = sw.InstallCacheEntry(switchcore.CacheEntry{
+			Key: key, Placement: pl, KeyIndex: i,
+			ServerPort: cfg.Hops, Value: workload.ValueFor(i, cfg.ValueSize),
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+
+	var buf []byte
+	start := time.Now()
+	for q := 0; q < cfg.Queries; q++ {
+		id := q % cfg.CacheItems
+		key := workload.KeyName(id)
+		update := cfg.UpdateEvery > 0 && q%cfg.UpdateEvery == 0
+
+		for hop := 0; hop < cfg.Hops; hop++ {
+			var pkt netproto.Packet
+			if update {
+				pkt = netproto.Packet{
+					Op: netproto.OpCacheUpdate, Seq: uint64(q),
+					Key: key, Value: workload.ValueFor(id, cfg.ValueSize),
+				}
+			} else {
+				pkt = netproto.Packet{Op: netproto.OpGet, Seq: uint64(q), Key: key}
+			}
+			// The loopback cable presents the packet at the next
+			// port; the source address advances so the reply (for
+			// reads) mirrors one hop further down the snake.
+			payload, err := pkt.Marshal()
+			if err != nil {
+				return res, err
+			}
+			buf = netproto.EncodeFrame(buf[:0],
+				netproto.Addr(cfg.Hops+1), netproto.Addr(hop+2), payload)
+			out, err := sw.Process(buf, hop)
+			if err != nil {
+				return res, err
+			}
+			if len(out) != 1 {
+				return res, fmt.Errorf("harness: hop %d emitted %d packets", hop, len(out))
+			}
+			res.Passes++
+			if hop == cfg.Hops-1 {
+				// Far-end server: verify like the paper's
+				// receiving machine does.
+				fr, err := netproto.DecodeFrame(out[0].Frame)
+				if err != nil {
+					return res, err
+				}
+				var reply netproto.Packet
+				if err := netproto.Decode(fr.Payload, &reply); err != nil {
+					return res, err
+				}
+				if update {
+					if reply.Op != netproto.OpCacheUpdateAck {
+						return res, fmt.Errorf("harness: update reply op %v", reply.Op)
+					}
+				} else {
+					if reply.Op != netproto.OpGetReply {
+						return res, fmt.Errorf("harness: read reply op %v", reply.Op)
+					}
+					if !bytes.Equal(reply.Value, workload.ValueFor(id, cfg.ValueSize)) {
+						return res, fmt.Errorf("harness: value mismatch for key %d", id)
+					}
+					res.Verified++
+				}
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	res.MeasuredPPS = float64(res.Passes) / res.Elapsed.Seconds()
+
+	// Paper-scale model: the generators bound the snake, not the chip.
+	generator := 2 * ClientQPS * float64(cfg.Hops)
+	res.ModeledQPS = generator
+	if chip := sw.Pipeline().Config().ChipPPS(); res.ModeledQPS > chip {
+		res.ModeledQPS = chip
+	}
+	return res, nil
+}

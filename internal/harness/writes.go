@@ -1,0 +1,128 @@
+package harness
+
+// Write-workload model for Fig. 10d: how the write ratio and write skew
+// affect saturated throughput.
+//
+// Writes always traverse the storage servers. A write to a *cached* key
+// additionally (a) invalidates the switch entry for roughly one coherence
+// window, during which reads to that key fall through to the server, and
+// (b) costs the server an extra operation to push the data-plane cache
+// update. With uniform writes the cached keys are almost never written, so
+// the cache keeps absorbing the skewed reads; with writes as skewed as the
+// reads, the hottest cached keys are invalid most of the time and the
+// system degenerates to (slightly below) NoCache — the crossover the paper
+// places around write ratio 0.2.
+
+// updateCostOps is the extra server work to refresh the switch after a
+// write to a cached key, in units of one storage op.
+const updateCostOps = 0.5
+
+// WriteWorkload configures the Fig. 10d sweep.
+type WriteWorkload struct {
+	Rack RackModel
+	// WriteRatio is the fraction of queries that are writes.
+	WriteRatio float64
+	// SkewedWrites selects writes drawn from the same Zipf law as reads
+	// (the adversarial case); otherwise writes are uniform.
+	SkewedWrites bool
+	// CoherenceWindow overrides how long a written cached key stays
+	// invalid; zero uses CoherenceWindowSec (the data-plane update).
+	// The write-around ablation sets it to a full controller cycle.
+	CoherenceWindow float64
+}
+
+// window resolves the effective invalidation window.
+func (w WriteWorkload) window() float64 {
+	if w.CoherenceWindow > 0 {
+		return w.CoherenceWindow
+	}
+	return CoherenceWindowSec
+}
+
+// Throughput returns the saturated aggregate throughput with or without the
+// switch cache, found by bisection on the offered load (higher load only
+// adds server work, so feasibility is monotone).
+func (w WriteWorkload) Throughput(withCache bool) float64 {
+	m := w.Rack
+	head := m.headRanks()
+	probs := make([]float64, head)
+	headMass := 0.0
+	for rank := 0; rank < head; rank++ {
+		probs[rank] = m.Prob(rank)
+		headMass += probs[rank]
+	}
+	parts := HeadPartitions(m.Partitions, head)
+
+	lo, hi := 1e5, 1e11
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		if w.feasible(mid, withCache, probs, headMass, parts) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// feasible reports whether no partition exceeds its capacity at offered
+// load L.
+func (w WriteWorkload) feasible(load float64, withCache bool, probs []float64, headMass float64, parts []int32) bool {
+	m := w.Rack
+	head := len(probs)
+	cacheSize := 0
+	if withCache {
+		cacheSize = m.CacheSize
+	}
+	wr := w.WriteRatio
+	uniformQ := 1 / float64(m.Keys)
+
+	perPartition := make([]float64, m.Partitions)
+	for rank := 0; rank < head; rank++ {
+		p := probs[rank]
+
+		// Write pmf for this key.
+		q := uniformQ
+		if w.SkewedWrites {
+			q = p
+		}
+
+		writeRate := wr * load * q
+		serverLoad := writeRate // writes always hit the server
+
+		readRate := (1 - wr) * load * p
+		if rank < cacheSize {
+			// Cached: reads reach the server only during the
+			// invalidation windows; each write also costs the
+			// refresh.
+			invalidFrac := writeRate * w.window()
+			if invalidFrac > 1 {
+				invalidFrac = 1
+			}
+			serverLoad += readRate*invalidFrac + writeRate*updateCostOps
+		} else {
+			serverLoad += readRate
+		}
+		perPartition[parts[rank]] += serverLoad
+	}
+
+	// Uniform remainder: tail reads, tail writes.
+	readTail := (1 - headMass) / float64(m.Partitions)
+	writeHeadMass := float64(head) / float64(m.Keys)
+	if w.SkewedWrites {
+		writeHeadMass = headMass
+	}
+	writeTail := (1 - writeHeadMass) / float64(m.Partitions)
+	perTailLoad := (1-wr)*load*readTail + wr*load*writeTail
+	for i := range perPartition {
+		if perPartition[i]+perTailLoad > ServerQPS {
+			return false
+		}
+	}
+
+	// The switch bounds the cache-served read portion.
+	if withCache && (1-wr)*load*m.HitRatio() > ChipQPS {
+		return false
+	}
+	return true
+}

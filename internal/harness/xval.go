@@ -1,0 +1,116 @@
+package harness
+
+import (
+	"fmt"
+
+	"netcache/internal/workload"
+)
+
+// Cross-validation: the Fig. 10 results come from the capacity model; this
+// experiment replays the same question — saturated throughput with and
+// without the cache under Zipf skew — at a scale the packet-level emulation
+// can execute (64 partitions, 10⁶ keys, 1,000 cached items), and checks
+// that the *measured* speedup agrees with the *modeled* speedup for the
+// identical configuration. It is the bridge that justifies trusting the
+// model at the paper's 128-server scale.
+
+// XValResult compares packet-measured and model-predicted speedups for one
+// skew level.
+type XValResult struct {
+	Theta float64
+	// Packet-level saturated throughput (queries/tick, steady state).
+	NoCachePkt  float64
+	NetCachePkt float64
+	// Model-predicted saturated throughput for the same dimensions (in
+	// the same per-tick capacity units).
+	NoCacheModel  float64
+	NetCacheModel float64
+}
+
+// SpeedupPkt is the measured NetCache/NoCache ratio.
+func (r XValResult) SpeedupPkt() float64 { return r.NetCachePkt / r.NoCachePkt }
+
+// SpeedupModel is the model's prediction of the same ratio.
+func (r XValResult) SpeedupModel() float64 { return r.NetCacheModel / r.NoCacheModel }
+
+// RunXVal executes the cross-validation at one skew level. quick shortens
+// the emulation.
+func RunXVal(theta float64, quick bool) (XValResult, error) {
+	res := XValResult{Theta: theta}
+
+	base := PaperDynamic(workload.ChurnNone)
+	base.Theta = theta
+	base.Ticks = 30
+	if quick {
+		base.Ticks = 18
+	}
+
+	measure := func(disable bool) (float64, error) {
+		cfg := base
+		cfg.DisableCache = disable
+		if disable {
+			// Saturation is far lower without the cache; start the
+			// AIMD search near it to converge within the run.
+			cfg.InitialRate = 12000
+		}
+		run, err := RunDynamic(cfg)
+		if err != nil {
+			return 0, err
+		}
+		// Steady state: average served over the last third.
+		tp := run.Throughputs()
+		n := len(tp) / 3
+		sum := 0.0
+		for _, v := range tp[len(tp)-n:] {
+			sum += v
+		}
+		return sum / float64(n), nil
+	}
+
+	var err error
+	if res.NetCachePkt, err = measure(false); err != nil {
+		return res, fmt.Errorf("harness: xval cached: %w", err)
+	}
+	if res.NoCachePkt, err = measure(true); err != nil {
+		return res, fmt.Errorf("harness: xval baseline: %w", err)
+	}
+
+	// The model at the emulation's own dimensions. Server capacity is
+	// per-tick; the model's ratios are capacity-invariant, so feed the
+	// per-tick token-bucket rate directly.
+	model := RackModel{
+		Partitions: base.Partitions,
+		Keys:       base.Keys,
+		CacheSize:  base.CacheItems,
+		Theta:      theta,
+	}
+	scale := float64(base.PartitionCapacity) / ServerQPS
+	res.NoCacheModel = model.StaticThroughput(false).TotalQPS * scale
+	res.NetCacheModel = model.StaticThroughput(true).TotalQPS * scale
+	return res, nil
+}
+
+// XVal is the registry experiment: one row per skew level, comparing
+// packet-measured and model-predicted saturated throughput.
+func XVal(quick bool) (*Table, error) {
+	t := &Table{
+		ID: "xval", Title: "packet-level cross-validation of the capacity model (scaled: 64 partitions, 1M keys, 1000 cached)",
+		Columns: []string{"theta", "nocache_pkt", "netcache_pkt", "speedup_pkt", "speedup_model"},
+		Notes: []string{
+			"pkt columns: steady-state served queries/tick from the real-pipeline emulation;",
+			"speedup_model: the same ratio predicted by the Fig. 10 capacity model at identical dimensions",
+		},
+	}
+	thetas := []float64{0.9, 0.99}
+	if quick {
+		thetas = []float64{0.99}
+	}
+	for _, theta := range thetas {
+		r, err := RunXVal(theta, quick)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(theta, r.NoCachePkt, r.NetCachePkt, r.SpeedupPkt(), r.SpeedupModel())
+	}
+	return t, nil
+}

@@ -1,0 +1,221 @@
+package kvstore
+
+import (
+	"math/rand"
+	"sync"
+
+	"netcache/internal/netproto"
+	"netcache/internal/sketch"
+)
+
+// CuckooStore is a cuckoo-hash storage engine: every key has two candidate
+// buckets (two independent hashes) of four slots each, so a lookup touches
+// at most eight slots — the bounded-probe design of the MemC3/libcuckoo
+// family the paper builds its related-work discussion on. Inserts displace
+// residents along a random walk; if the walk exceeds its budget the table
+// doubles and rehashes.
+//
+// Compared to the chained Store it trades insert-time work for dense,
+// constant-time lookups. A single RWMutex guards the table; use the sharded
+// Store when write concurrency dominates.
+type CuckooStore struct {
+	mu      sync.RWMutex
+	buckets []bucket
+	mask    uint64
+	n       int
+	version uint64
+	rng     *rand.Rand
+}
+
+const (
+	slotsPerBucket = 4
+	// maxKicks bounds the displacement walk before growing.
+	maxKicks = 256
+	// cuckooSeedA/B are the two independent bucket hashes.
+	cuckooSeedA = 0x9AE16A3B2F90404F
+	cuckooSeedB = 0xC949D7C7509E6557
+)
+
+type slot struct {
+	used    bool
+	key     netproto.Key
+	value   []byte
+	version uint64
+}
+
+type bucket [slotsPerBucket]slot
+
+// NewCuckoo returns an empty cuckoo-hash store.
+func NewCuckoo() *CuckooStore {
+	return &CuckooStore{
+		buckets: make([]bucket, 64),
+		mask:    63,
+		rng:     rand.New(rand.NewSource(0x5EED)),
+	}
+}
+
+func (c *CuckooStore) bucketsOf(key netproto.Key) (uint64, uint64) {
+	a := sketch.Hash64(key[:], cuckooSeedA) & c.mask
+	b := sketch.Hash64(key[:], cuckooSeedB) & c.mask
+	return a, b
+}
+
+// Len returns the number of stored items.
+func (c *CuckooStore) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+// Get returns a copy of the value and its version.
+func (c *CuckooStore) Get(key netproto.Key) ([]byte, uint64, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	a, b := c.bucketsOf(key)
+	for _, bi := range [2]uint64{a, b} {
+		for si := range c.buckets[bi] {
+			s := &c.buckets[bi][si]
+			if s.used && s.key == key {
+				return append([]byte(nil), s.value...), s.version, true
+			}
+		}
+	}
+	return nil, 0, false
+}
+
+// Put stores a copy of value under key.
+func (c *CuckooStore) Put(key netproto.Key, value []byte) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.version++
+	v := append([]byte(nil), value...)
+
+	// Update in place if present.
+	a, b := c.bucketsOf(key)
+	for _, bi := range [2]uint64{a, b} {
+		for si := range c.buckets[bi] {
+			s := &c.buckets[bi][si]
+			if s.used && s.key == key {
+				s.value = v
+				s.version = c.version
+				return c.version
+			}
+		}
+	}
+	c.insertLocked(slot{used: true, key: key, value: v, version: c.version})
+	c.n++
+	return c.version
+}
+
+// insertLocked places a new slot, displacing residents as needed and
+// growing on walk exhaustion. Caller holds the write lock.
+func (c *CuckooStore) insertLocked(s slot) {
+	for {
+		cur := s
+		for kick := 0; kick < maxKicks; kick++ {
+			a, b := c.bucketsOf(cur.key)
+			for _, bi := range [2]uint64{a, b} {
+				for si := range c.buckets[bi] {
+					if !c.buckets[bi][si].used {
+						c.buckets[bi][si] = cur
+						return
+					}
+				}
+			}
+			// Both buckets full: evict a random resident of a random
+			// candidate bucket and continue with it.
+			bi := a
+			if c.rng.Intn(2) == 1 {
+				bi = b
+			}
+			si := c.rng.Intn(slotsPerBucket)
+			c.buckets[bi][si], cur = cur, c.buckets[bi][si]
+		}
+		// Walk exhausted: double the table and retry with the orphan.
+		c.growLocked()
+		s = cur
+	}
+}
+
+// growLocked doubles the bucket array and rehashes every resident. Caller
+// holds the write lock.
+func (c *CuckooStore) growLocked() {
+	old := c.buckets
+	c.buckets = make([]bucket, 2*len(old))
+	c.mask = uint64(len(c.buckets) - 1)
+	for bi := range old {
+		for si := range old[bi] {
+			if s := old[bi][si]; s.used {
+				c.placeRehashLocked(s)
+			}
+		}
+	}
+}
+
+// placeRehashLocked inserts during a rehash. The walk cannot cycle forever
+// in practice; if it exhausts, grow again (recursion depth is bounded by
+// the quality of the hash).
+func (c *CuckooStore) placeRehashLocked(s slot) {
+	cur := s
+	for kick := 0; kick < maxKicks; kick++ {
+		a, b := c.bucketsOf(cur.key)
+		for _, bi := range [2]uint64{a, b} {
+			for si := range c.buckets[bi] {
+				if !c.buckets[bi][si].used {
+					c.buckets[bi][si] = cur
+					return
+				}
+			}
+		}
+		bi := a
+		if c.rng.Intn(2) == 1 {
+			bi = b
+		}
+		si := c.rng.Intn(slotsPerBucket)
+		c.buckets[bi][si], cur = cur, c.buckets[bi][si]
+	}
+	c.growLocked()
+	c.placeRehashLocked(cur)
+}
+
+// Delete removes key.
+func (c *CuckooStore) Delete(key netproto.Key) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, b := c.bucketsOf(key)
+	for _, bi := range [2]uint64{a, b} {
+		for si := range c.buckets[bi] {
+			s := &c.buckets[bi][si]
+			if s.used && s.key == key {
+				*s = slot{}
+				c.n--
+				c.version++
+				return c.version, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Range iterates all items; values must not be retained.
+func (c *CuckooStore) Range(fn func(key netproto.Key, value []byte, version uint64) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for bi := range c.buckets {
+		for si := range c.buckets[bi] {
+			if s := &c.buckets[bi][si]; s.used {
+				if !fn(s.key, s.value, s.version) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// LoadFactor returns items per slot — cuckoo tables stay usable well past
+// 0.9 with 4-way buckets.
+func (c *CuckooStore) LoadFactor() float64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return float64(c.n) / float64(len(c.buckets)*slotsPerBucket)
+}

@@ -1,0 +1,195 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"netcache/internal/netproto"
+)
+
+func TestCuckooBasicCRUD(t *testing.T) {
+	c := NewCuckoo()
+	if _, _, ok := c.Get(key(1)); ok {
+		t.Fatal("empty store should miss")
+	}
+	v1 := c.Put(key(1), []byte("hello"))
+	got, ver, ok := c.Get(key(1))
+	if !ok || string(got) != "hello" || ver != v1 {
+		t.Fatalf("Get = %q v%d %v", got, ver, ok)
+	}
+	v2 := c.Put(key(1), []byte("world"))
+	if v2 <= v1 {
+		t.Error("version must increase")
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if dv, ok := c.Delete(key(1)); !ok || dv <= v2 {
+		t.Errorf("Delete = v%d %v", dv, ok)
+	}
+	if _, ok := c.Delete(key(1)); ok {
+		t.Error("double delete should miss")
+	}
+}
+
+func TestCuckooValueCopied(t *testing.T) {
+	c := NewCuckoo()
+	buf := []byte("mutable")
+	c.Put(key(1), buf)
+	buf[0] = 'X'
+	got, _, _ := c.Get(key(1))
+	if string(got) != "mutable" {
+		t.Error("Put must copy")
+	}
+	got[0] = 'Y'
+	again, _, _ := c.Get(key(1))
+	if string(again) != "mutable" {
+		t.Error("Get must copy")
+	}
+}
+
+func TestCuckooGrowthUnderLoad(t *testing.T) {
+	c := NewCuckoo()
+	const n = 50000
+	for i := 0; i < n; i++ {
+		c.Put(key(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	if c.Len() != n {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	for i := 0; i < n; i++ {
+		v, _, ok := c.Get(key(i))
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d lost after growth: %q %v", i, v, ok)
+		}
+	}
+	if lf := c.LoadFactor(); lf <= 0.2 || lf > 1 {
+		t.Errorf("load factor %.2f out of plausible range", lf)
+	}
+}
+
+func TestCuckooRange(t *testing.T) {
+	c := NewCuckoo()
+	for i := 0; i < 100; i++ {
+		c.Put(key(i), []byte{byte(i)})
+	}
+	seen := 0
+	c.Range(func(k netproto.Key, v []byte, ver uint64) bool {
+		seen++
+		return true
+	})
+	if seen != 100 {
+		t.Errorf("Range saw %d", seen)
+	}
+	seen = 0
+	c.Range(func(netproto.Key, []byte, uint64) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Errorf("early stop saw %d", seen)
+	}
+}
+
+func TestCuckooConcurrent(t *testing.T) {
+	c := NewCuckoo()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 3000; i++ {
+				k := key(rng.Intn(300))
+				switch rng.Intn(3) {
+				case 0:
+					c.Put(k, []byte{byte(i)})
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Delete(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	count := 0
+	c.Range(func(netproto.Key, []byte, uint64) bool { count++; return true })
+	if count != c.Len() {
+		t.Errorf("Len=%d but Range saw %d", c.Len(), count)
+	}
+}
+
+// Property: the cuckoo engine behaves exactly like a map under any op
+// sequence — the same contract the chained store satisfies.
+func TestQuickCuckooMapEquivalence(t *testing.T) {
+	type op struct {
+		Key uint8
+		Val []byte
+		Op  uint8
+	}
+	f := func(ops []op) bool {
+		c := NewCuckoo()
+		ref := map[netproto.Key]string{}
+		for _, o := range ops {
+			k := key(int(o.Key))
+			switch o.Op % 3 {
+			case 0:
+				c.Put(k, o.Val)
+				ref[k] = string(o.Val)
+			case 1:
+				_, ok := c.Delete(k)
+				if _, refOk := ref[k]; ok != refOk {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, _, ok := c.Get(k)
+				rv, refOk := ref[k]
+				if ok != refOk || (ok && string(v) != rv) {
+					return false
+				}
+			}
+		}
+		return c.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewEngine(t *testing.T) {
+	if _, ok := NewEngine("", 4).(*Store); !ok {
+		t.Error("default engine should be the chained store")
+	}
+	if _, ok := NewEngine("chained", 4).(*Store); !ok {
+		t.Error("chained engine wrong type")
+	}
+	if _, ok := NewEngine("cuckoo", 4).(*CuckooStore); !ok {
+		t.Error("cuckoo engine wrong type")
+	}
+	if NewEngine("bogus", 4) != nil {
+		t.Error("unknown engine should be nil")
+	}
+}
+
+func BenchmarkCuckooGet(b *testing.B) {
+	c := NewCuckoo()
+	for i := 0; i < 100000; i++ {
+		c.Put(key(i), make([]byte, 128))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Get(key(i % 100000))
+	}
+}
+
+func BenchmarkCuckooPut(b *testing.B) {
+	c := NewCuckoo()
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Put(key(i%100000), val)
+	}
+}

@@ -1,0 +1,40 @@
+package kvstore
+
+import "netcache/internal/netproto"
+
+// Engine is the storage interface the server agent runs against. Two
+// engines ship: the sharded chained-hash Store (the default, in the spirit
+// of the paper's TommyDS-based store) and the CuckooStore (cuckoo hashing,
+// after the MemC3/libcuckoo line of work the paper cites as related).
+type Engine interface {
+	// Get returns a copy of the value and its version.
+	Get(key netproto.Key) (value []byte, version uint64, ok bool)
+	// Put stores a copy of value and returns a version strictly greater
+	// than any previous version of the key.
+	Put(key netproto.Key, value []byte) (version uint64)
+	// Delete removes the key, returning the deletion version.
+	Delete(key netproto.Key) (version uint64, ok bool)
+	// Len returns the number of stored items.
+	Len() int
+	// Range iterates items until fn returns false; values must not be
+	// retained.
+	Range(fn func(key netproto.Key, value []byte, version uint64) bool)
+}
+
+// Compile-time interface checks.
+var (
+	_ Engine = (*Store)(nil)
+	_ Engine = (*CuckooStore)(nil)
+)
+
+// NewEngine constructs a named engine: "chained" (default for "") or
+// "cuckoo". Unknown names return nil.
+func NewEngine(name string, shards int) Engine {
+	switch name {
+	case "", "chained":
+		return New(shards)
+	case "cuckoo":
+		return NewCuckoo()
+	}
+	return nil
+}

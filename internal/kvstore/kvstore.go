@@ -1,0 +1,215 @@
+// Package kvstore is the storage-layer in-memory key-value store NetCache
+// servers run behind the shim (SOSP'17 §6 uses a "simple (not optimized)"
+// store built on the TommyDS C library; this package is its from-scratch Go
+// equivalent).
+//
+// The store is a sharded chained hash table with per-shard locking. Shards
+// emulate the per-core sharding the paper relies on for high concurrency
+// (§1, §6: "per-core sharding with Receive Side Scaling"): a key's shard is
+// a pure function of the key, as RSS makes it a pure function of the flow.
+// Every mutation stamps a monotonically increasing version used as the value
+// version number (SEQ) of the cache-coherence protocol.
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"netcache/internal/netproto"
+	"netcache/internal/sketch"
+)
+
+const (
+	initialBuckets = 64
+	maxLoadFactor  = 0.75
+)
+
+type entry struct {
+	key     netproto.Key
+	value   []byte
+	version uint64
+	next    *entry
+}
+
+type shard struct {
+	mu      sync.RWMutex
+	buckets []*entry
+	n       int
+	version uint64 // monotonic per-shard version source
+}
+
+// Store is a sharded in-memory key-value store. The zero value is not
+// usable; construct with New.
+type Store struct {
+	shards []shard
+	mask   uint64
+	len    atomic.Int64
+}
+
+// New returns a store with the given number of shards (rounded up to a power
+// of two, minimum 1). One shard per served CPU core matches the paper's
+// deployment model.
+func New(nShards int) *Store {
+	n := 1
+	for n < nShards {
+		n <<= 1
+	}
+	s := &Store{shards: make([]shard, n), mask: uint64(n - 1)}
+	for i := range s.shards {
+		s.shards[i].buckets = make([]*entry, initialBuckets)
+	}
+	return s
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// Len returns the number of stored items.
+func (s *Store) Len() int { return int(s.len.Load()) }
+
+// ShardOf returns the shard index serving key — the RSS emulation used by
+// the server agent to pick a queue.
+func (s *Store) ShardOf(key netproto.Key) int {
+	return int(sketch.Hash64(key[:], 0xA076_1D64_78BD_642F) & s.mask)
+}
+
+func bucketHash(key netproto.Key) uint64 {
+	return sketch.Hash64(key[:], 0xE703_7ED1_A0B4_28DB)
+}
+
+// Get returns the value and version of key. The returned slice is a copy;
+// callers may retain it.
+func (s *Store) Get(key netproto.Key) (value []byte, version uint64, ok bool) {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for e := sh.buckets[bucketHash(key)&uint64(len(sh.buckets)-1)]; e != nil; e = e.next {
+		if e.key == key {
+			return append([]byte(nil), e.value...), e.version, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Put stores value under key (value is copied) and returns the new version.
+// Versions from one shard are strictly increasing, so two writes to the same
+// key are always ordered.
+func (s *Store) Put(key netproto.Key, value []byte) (version uint64) {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.version++
+	v := append([]byte(nil), value...)
+	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
+	for e := sh.buckets[idx]; e != nil; e = e.next {
+		if e.key == key {
+			e.value = v
+			e.version = sh.version
+			return e.version
+		}
+	}
+	sh.buckets[idx] = &entry{key: key, value: v, version: sh.version, next: sh.buckets[idx]}
+	sh.n++
+	s.len.Add(1)
+	if float64(sh.n) > maxLoadFactor*float64(len(sh.buckets)) {
+		sh.grow()
+	}
+	return sh.version
+}
+
+// Delete removes key and returns the deletion version; ok is false if the
+// key was absent.
+func (s *Store) Delete(key netproto.Key) (version uint64, ok bool) {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
+	for pp := &sh.buckets[idx]; *pp != nil; pp = &(*pp).next {
+		if (*pp).key == key {
+			*pp = (*pp).next
+			sh.n--
+			s.len.Add(-1)
+			sh.version++
+			return sh.version, true
+		}
+	}
+	return 0, false
+}
+
+// Range calls fn for every item until fn returns false. The iteration holds
+// one shard lock at a time; values passed to fn must not be retained.
+func (s *Store) Range(fn func(key netproto.Key, value []byte, version uint64) bool) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, head := range sh.buckets {
+			for e := head; e != nil; e = e.next {
+				if !fn(e.key, e.value, e.version) {
+					sh.mu.RUnlock()
+					return
+				}
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// grow doubles the shard's bucket array. Caller holds the shard lock.
+func (sh *shard) grow() {
+	old := sh.buckets
+	sh.buckets = make([]*entry, 2*len(old))
+	mask := uint64(len(sh.buckets) - 1)
+	for _, head := range old {
+		for e := head; e != nil; {
+			next := e.next
+			idx := bucketHash(e.key) & mask
+			e.next = sh.buckets[idx]
+			sh.buckets[idx] = e
+			e = next
+		}
+	}
+}
+
+// Stats describes the store's internal shape, for diagnostics.
+type Stats struct {
+	Shards       int
+	Items        int
+	Buckets      int
+	MaxChain     int
+	LoadFactor   float64
+	ItemsByShard []int
+}
+
+// Stats returns a consistent-enough snapshot (shard locks taken one at a
+// time).
+func (s *Store) Stats() Stats {
+	st := Stats{Shards: len(s.shards), ItemsByShard: make([]int, len(s.shards))}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		st.Items += sh.n
+		st.Buckets += len(sh.buckets)
+		st.ItemsByShard[i] = sh.n
+		for _, head := range sh.buckets {
+			chain := 0
+			for e := head; e != nil; e = e.next {
+				chain++
+			}
+			if chain > st.MaxChain {
+				st.MaxChain = chain
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	if st.Buckets > 0 {
+		st.LoadFactor = float64(st.Items) / float64(st.Buckets)
+	}
+	return st
+}
+
+// String summarizes the stats.
+func (st Stats) String() string {
+	return fmt.Sprintf("kvstore: %d items, %d shards, %d buckets, load %.2f, max chain %d",
+		st.Items, st.Shards, st.Buckets, st.LoadFactor, st.MaxChain)
+}

@@ -1,0 +1,275 @@
+package kvstore
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"netcache/internal/netproto"
+)
+
+func key(i int) netproto.Key {
+	return netproto.KeyFromString(fmt.Sprintf("key-%08d", i))
+}
+
+func TestBasicCRUD(t *testing.T) {
+	s := New(4)
+	if _, _, ok := s.Get(key(1)); ok {
+		t.Fatal("empty store should miss")
+	}
+	v1 := s.Put(key(1), []byte("hello"))
+	got, ver, ok := s.Get(key(1))
+	if !ok || string(got) != "hello" || ver != v1 {
+		t.Fatalf("Get = %q v%d %v", got, ver, ok)
+	}
+	v2 := s.Put(key(1), []byte("world"))
+	if v2 <= v1 {
+		t.Errorf("version must increase: %d then %d", v1, v2)
+	}
+	got, _, _ = s.Get(key(1))
+	if string(got) != "world" {
+		t.Errorf("overwrite failed: %q", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	dv, ok := s.Delete(key(1))
+	if !ok || dv <= v2 {
+		t.Errorf("Delete = v%d %v", dv, ok)
+	}
+	if _, ok := s.Delete(key(1)); ok {
+		t.Error("double delete should miss")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len after delete = %d", s.Len())
+	}
+}
+
+func TestValueIsCopied(t *testing.T) {
+	s := New(1)
+	buf := []byte("mutable")
+	s.Put(key(1), buf)
+	buf[0] = 'X'
+	got, _, _ := s.Get(key(1))
+	if string(got) != "mutable" {
+		t.Error("Put must copy the value")
+	}
+	got[0] = 'Y'
+	again, _, _ := s.Get(key(1))
+	if string(again) != "mutable" {
+		t.Error("Get must return a copy")
+	}
+}
+
+func TestGrowthKeepsAllItems(t *testing.T) {
+	s := New(1)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		s.Put(key(i), []byte(fmt.Sprintf("val-%d", i)))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		got, _, ok := s.Get(key(i))
+		if !ok || string(got) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d: %q %v", i, got, ok)
+		}
+	}
+	st := s.Stats()
+	if st.LoadFactor > maxLoadFactor+0.01 {
+		t.Errorf("load factor %.2f exceeds threshold", st.LoadFactor)
+	}
+}
+
+func TestShardOfStable(t *testing.T) {
+	s := New(8)
+	if s.NumShards() != 8 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	for i := 0; i < 100; i++ {
+		a, b := s.ShardOf(key(i)), s.ShardOf(key(i))
+		if a != b || a < 0 || a >= 8 {
+			t.Fatalf("ShardOf unstable or out of range: %d %d", a, b)
+		}
+	}
+}
+
+func TestShardRounding(t *testing.T) {
+	if got := New(5).NumShards(); got != 8 {
+		t.Errorf("5 shards should round to 8, got %d", got)
+	}
+	if got := New(0).NumShards(); got != 1 {
+		t.Errorf("0 shards should round to 1, got %d", got)
+	}
+}
+
+func TestRange(t *testing.T) {
+	s := New(4)
+	want := map[netproto.Key]string{}
+	for i := 0; i < 100; i++ {
+		want[key(i)] = fmt.Sprintf("v%d", i)
+		s.Put(key(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	seen := 0
+	s.Range(func(k netproto.Key, v []byte, ver uint64) bool {
+		if want[k] != string(v) {
+			t.Errorf("key %s: value %q", k, v)
+		}
+		seen++
+		return true
+	})
+	if seen != 100 {
+		t.Errorf("Range visited %d items", seen)
+	}
+	// Early termination.
+	seen = 0
+	s.Range(func(k netproto.Key, v []byte, ver uint64) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Errorf("early stop visited %d", seen)
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	s := New(8)
+	const goroutines = 8
+	const opsEach = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := key(rng.Intn(500))
+				switch rng.Intn(3) {
+				case 0:
+					s.Put(k, []byte{byte(i)})
+				case 1:
+					s.Get(k)
+				case 2:
+					s.Delete(k)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	// Invariant: Len agrees with a full Range count.
+	count := 0
+	s.Range(func(netproto.Key, []byte, uint64) bool { count++; return true })
+	if count != s.Len() {
+		t.Errorf("Len=%d but Range saw %d", s.Len(), count)
+	}
+}
+
+func TestVersionMonotonicPerKey(t *testing.T) {
+	s := New(2)
+	var last uint64
+	for i := 0; i < 100; i++ {
+		v := s.Put(key(7), []byte{byte(i)})
+		if v <= last {
+			t.Fatalf("version regressed: %d after %d", v, last)
+		}
+		last = v
+	}
+	dv, _ := s.Delete(key(7))
+	if dv <= last {
+		t.Fatalf("delete version %d not after %d", dv, last)
+	}
+	if v := s.Put(key(7), []byte("new")); v <= dv {
+		t.Fatalf("re-create version %d not after delete %d", v, dv)
+	}
+}
+
+// Property: the store behaves exactly like a map[Key][]byte under any
+// sequence of operations.
+func TestQuickMapEquivalence(t *testing.T) {
+	type op struct {
+		Key uint8
+		Val []byte
+		Op  uint8 // 0 put, 1 delete, 2 get
+	}
+	f := func(ops []op) bool {
+		s := New(4)
+		ref := map[netproto.Key]string{}
+		for _, o := range ops {
+			k := key(int(o.Key))
+			switch o.Op % 3 {
+			case 0:
+				s.Put(k, o.Val)
+				ref[k] = string(o.Val)
+			case 1:
+				_, ok := s.Delete(k)
+				_, refOk := ref[k]
+				if ok != refOk {
+					return false
+				}
+				delete(ref, k)
+			case 2:
+				v, _, ok := s.Get(k)
+				rv, refOk := ref[k]
+				if ok != refOk || (ok && string(v) != rv) {
+					return false
+				}
+			}
+		}
+		return s.Len() == len(ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := New(2)
+	s.Put(key(1), []byte("x"))
+	st := s.Stats()
+	if st.Items != 1 || st.Shards != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New(16)
+	for i := 0; i < 100000; i++ {
+		s.Put(key(i), make([]byte, 128))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(key(i % 100000))
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := New(16)
+	val := make([]byte, 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Put(key(i%100000), val)
+	}
+}
+
+func BenchmarkGetParallel(b *testing.B) {
+	s := New(16)
+	for i := 0; i < 100000; i++ {
+		s.Put(key(i), make([]byte, 128))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Get(key(i % 100000))
+			i++
+		}
+	})
+}

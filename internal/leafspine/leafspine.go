@@ -1,0 +1,299 @@
+// Package leafspine is a packet-level prototype of multi-rack NetCache —
+// the §5 future work ("cache hot items to higher-level switches in a
+// datacenter network, e.g., spine switches") behind the Fig. 10f
+// simulation, realized with the same compiled switch program at both
+// layers.
+//
+// Topology: clients attach to one spine switch; below it, each rack has a
+// ToR switch in front of its storage servers. Every switch runs the full
+// NetCache pipeline. The spine's controller caches the global head (it
+// observes all client traffic); each ToR's controller caches its rack's
+// head among the queries the spine missed.
+//
+// Coherence across the two cache layers composes from the single-switch
+// protocol, exactly as §4.3's wording anticipates:
+//
+//   - A write invalidates the cached copy in *every* switch it traverses:
+//     the first cache hit rewrites the op to PutCached/DeleteCached, and
+//     downstream switches treat the rewritten ops as invalidations of their
+//     own copies too.
+//   - Only the last-hop ToR receives the server's data-plane CacheUpdate
+//     (the ack must return to the server, which the ToR's topology
+//     guarantees). A spine copy therefore stays invalid after a write;
+//     reads fall through to the (updated) ToR or server — always
+//     consistent — until the spine controller re-installs the key on its
+//     next cycle, prompted by the resumed heavy-hitter reports.
+package leafspine
+
+import (
+	"fmt"
+
+	"netcache/internal/client"
+	"netcache/internal/controller"
+	"netcache/internal/netproto"
+	"netcache/internal/server"
+	"netcache/internal/switchcore"
+	"netcache/internal/workload"
+)
+
+// Config sizes the fabric.
+type Config struct {
+	// Racks is the number of storage racks (≥1).
+	Racks int
+	// ServersPerRack is each rack's width (≥1).
+	ServersPerRack int
+	// Clients attach to the spine (≥1).
+	Clients int
+	// Switch configures every switch; zero value means TestConfig.
+	Switch switchcore.Config
+	// SpineCache and TorCache cap each layer's cached items; zero means
+	// the switch limit.
+	SpineCache, TorCache int
+}
+
+// rackUnit is one rack: ToR switch, servers, controller.
+type rackUnit struct {
+	tor     *switchcore.Switch
+	servers []*server.Server
+	ctl     *controller.Controller
+}
+
+// Fabric is the assembled leaf-spine deployment.
+type Fabric struct {
+	cfg Config
+
+	spine    *switchcore.Switch
+	spineCtl *controller.Controller
+	racks    []*rackUnit
+	clients  []*client.Client
+
+	// Partition maps keys to owning server addresses, shared fabric-wide.
+	Partition client.Partitioner
+
+	serverByAddr map[netproto.Addr]*server.Server
+	rackOfAddr   map[netproto.Addr]int
+}
+
+// Server addresses are dense across racks: rack r, server s has address
+// 1 + r*ServersPerRack + s. Clients are 0x8000+i, as in a single rack.
+func (c Config) serverAddr(rack, srv int) netproto.Addr {
+	return netproto.Addr(1 + rack*c.ServersPerRack + srv)
+}
+
+// Port plan. Spine: ports [0,Racks) are downlinks, [Racks, Racks+Clients)
+// are clients. ToR: ports [0,ServersPerRack) are servers, port
+// ServersPerRack is the uplink.
+func (c Config) spineClientPort(i int) int { return c.Racks + i }
+func (c Config) torUplinkPort() int        { return c.ServersPerRack }
+
+// New assembles and wires the fabric.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Racks < 1 || cfg.ServersPerRack < 1 || cfg.Clients < 1 {
+		return nil, fmt.Errorf("leafspine: racks, servers and clients must all be >= 1")
+	}
+	if cfg.Switch.CacheSize == 0 {
+		cfg.Switch = switchcore.TestConfig()
+	}
+	if cfg.Racks+cfg.Clients > cfg.Switch.Chip.NumPorts() ||
+		cfg.ServersPerRack+1 > cfg.Switch.Chip.NumPorts() {
+		return nil, fmt.Errorf("leafspine: topology exceeds switch ports")
+	}
+
+	f := &Fabric{
+		cfg:          cfg,
+		serverByAddr: make(map[netproto.Addr]*server.Server),
+		rackOfAddr:   make(map[netproto.Addr]int),
+	}
+
+	var err error
+	if f.spine, err = switchcore.New(cfg.Switch); err != nil {
+		return nil, fmt.Errorf("leafspine: spine: %w", err)
+	}
+
+	// Servers and partitioning.
+	allAddrs := make([]netproto.Addr, 0, cfg.Racks*cfg.ServersPerRack)
+	allNodes := make(map[netproto.Addr]controller.StorageNode)
+	for r := 0; r < cfg.Racks; r++ {
+		unit := &rackUnit{}
+		if unit.tor, err = switchcore.New(cfg.Switch); err != nil {
+			return nil, fmt.Errorf("leafspine: tor %d: %w", r, err)
+		}
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			addr := cfg.serverAddr(r, s)
+			srv := server.New(server.Config{Addr: addr, Shards: 2})
+			rr, ss := r, s
+			srv.SetSend(func(frame []byte) { f.deliverToTor(rr, frame, ss) })
+			unit.servers = append(unit.servers, srv)
+			f.serverByAddr[addr] = srv
+			f.rackOfAddr[addr] = r
+			allAddrs = append(allAddrs, addr)
+			allNodes[addr] = srv
+		}
+		f.racks = append(f.racks, unit)
+	}
+	f.Partition = client.HashPartitioner(allAddrs)
+
+	// Routing. Spine: servers via their rack's downlink, clients direct.
+	for addr, r := range f.rackOfAddr {
+		if err := f.spine.InstallRoute(addr, r); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < cfg.Clients; i++ {
+		addr := netproto.Addr(0x8000 + i)
+		if err := f.spine.InstallRoute(addr, cfg.spineClientPort(i)); err != nil {
+			return nil, err
+		}
+	}
+	// ToR r: own servers at their ports; everything else (clients, other
+	// racks' servers) via the uplink.
+	for r, unit := range f.racks {
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			if err := unit.tor.InstallRoute(cfg.serverAddr(r, s), s); err != nil {
+				return nil, err
+			}
+		}
+		for addr, rr := range f.rackOfAddr {
+			if rr == r {
+				continue
+			}
+			if err := unit.tor.InstallRoute(addr, cfg.torUplinkPort()); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < cfg.Clients; i++ {
+			if err := unit.tor.InstallRoute(netproto.Addr(0x8000+i), cfg.torUplinkPort()); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Clients.
+	for i := 0; i < cfg.Clients; i++ {
+		cl, err := client.New(client.Config{
+			Addr:      netproto.Addr(0x8000 + i),
+			Partition: f.Partition,
+		})
+		if err != nil {
+			return nil, err
+		}
+		port := cfg.spineClientPort(i)
+		cl.SetSend(func(frame []byte) { f.deliverToSpine(frame, port) })
+		f.clients = append(f.clients, cl)
+	}
+
+	// Controllers. Each ToR owns its rack; the spine owns everything,
+	// with cache entries pointing at the owning rack's downlink.
+	for r, unit := range f.racks {
+		r := r
+		rackNodes := make(map[netproto.Addr]controller.StorageNode)
+		for s := 0; s < cfg.ServersPerRack; s++ {
+			addr := cfg.serverAddr(r, s)
+			rackNodes[addr] = f.serverByAddr[addr]
+		}
+		unit.ctl, err = controller.New(controller.Config{
+			Switch:    unit.tor,
+			Nodes:     rackNodes,
+			Partition: func(key netproto.Key) netproto.Addr { return f.Partition(key) },
+			PortOf: func(addr netproto.Addr) (int, bool) {
+				if f.rackOfAddr[addr] != r {
+					return 0, false
+				}
+				return int(addr-cfg.serverAddr(r, 0)) % cfg.ServersPerRack, true
+			},
+			Capacity: cfg.TorCache,
+			Seed:     int64(r + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.spineCtl, err = controller.New(controller.Config{
+		Switch:    f.spine,
+		Nodes:     allNodes,
+		Partition: func(key netproto.Key) netproto.Addr { return f.Partition(key) },
+		PortOf: func(addr netproto.Addr) (int, bool) {
+			r, ok := f.rackOfAddr[addr]
+			return r, ok // the downlink toward the owning rack
+		},
+		Capacity: cfg.SpineCache,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// deliverToSpine processes a frame at the spine and fans out the emissions.
+func (f *Fabric) deliverToSpine(frame []byte, inPort int) {
+	out, err := f.spine.Process(frame, inPort)
+	if err != nil {
+		return
+	}
+	for _, em := range out {
+		switch {
+		case em.Port < f.cfg.Racks:
+			// Downlink: into that rack's ToR at its uplink port.
+			f.deliverToTor(em.Port, em.Frame, f.cfg.torUplinkPort())
+		case em.Port < f.cfg.Racks+f.cfg.Clients:
+			f.clients[em.Port-f.cfg.Racks].Receive(em.Frame)
+		}
+	}
+}
+
+// deliverToTor processes a frame at rack r's ToR and fans out the emissions.
+func (f *Fabric) deliverToTor(r int, frame []byte, inPort int) {
+	unit := f.racks[r]
+	out, err := unit.tor.Process(frame, inPort)
+	if err != nil {
+		return
+	}
+	for _, em := range out {
+		switch {
+		case em.Port < f.cfg.ServersPerRack:
+			unit.servers[em.Port].Receive(em.Frame)
+		case em.Port == f.cfg.torUplinkPort():
+			f.deliverToSpine(em.Frame, r)
+		}
+	}
+}
+
+// Client returns client i's handle.
+func (f *Fabric) Client(i int) *client.Client { return f.clients[i] }
+
+// Spine returns the spine switch and its controller.
+func (f *Fabric) Spine() (*switchcore.Switch, *controller.Controller) {
+	return f.spine, f.spineCtl
+}
+
+// Tor returns rack r's ToR switch and controller.
+func (f *Fabric) Tor(r int) (*switchcore.Switch, *controller.Controller) {
+	return f.racks[r].tor, f.racks[r].ctl
+}
+
+// ServerOf returns the agent owning key.
+func (f *Fabric) ServerOf(key netproto.Key) *server.Server {
+	return f.serverByAddr[f.Partition(key)]
+}
+
+// RackOf returns the rack index owning key.
+func (f *Fabric) RackOf(key netproto.Key) int {
+	return f.rackOfAddr[f.Partition(key)]
+}
+
+// LoadDataset installs the canonical dataset across all servers.
+func (f *Fabric) LoadDataset(n, valueSize int) {
+	for id := 0; id < n; id++ {
+		key := workload.KeyName(id)
+		f.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+	}
+}
+
+// Tick runs one controller cycle at every layer: ToRs first (rack-local
+// heads), then the spine (global head).
+func (f *Fabric) Tick() {
+	for _, unit := range f.racks {
+		unit.ctl.Tick()
+	}
+	f.spineCtl.Tick()
+}

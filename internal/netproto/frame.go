@@ -1,0 +1,52 @@
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Frame is the link-layer envelope NetCache messages travel in within the
+// storage rack: a minimal L2-like header carrying source and destination
+// addresses, standing in for the Ethernet/IP headers the paper's clients set
+// (§4.1 "the client appropriately sets the Ethernet and IP headers"). The
+// switch routes on these addresses with its routing table and swaps them
+// when it replies on behalf of a storage server.
+type Frame struct {
+	Dst, Src Addr
+	// Payload is the encoded NetCache packet (or arbitrary bytes for
+	// non-NetCache traffic).
+	Payload []byte
+}
+
+// Addr is a rack-local network address (one per client or server NIC).
+type Addr uint16
+
+// FrameHeaderSize is the encoded size of the frame header.
+const FrameHeaderSize = 4
+
+// ErrShortFrame reports a frame shorter than its header.
+var ErrShortFrame = errors.New("netproto: frame too short")
+
+// EncodeFrame appends the wire form of the frame to buf.
+func EncodeFrame(buf []byte, dst, src Addr, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(src))
+	return append(buf, payload...)
+}
+
+// MarshalFrame returns the wire form in a fresh slice.
+func MarshalFrame(dst, src Addr, payload []byte) []byte {
+	return EncodeFrame(make([]byte, 0, FrameHeaderSize+len(payload)), dst, src, payload)
+}
+
+// DecodeFrame parses b. The payload aliases b.
+func DecodeFrame(b []byte) (Frame, error) {
+	if len(b) < FrameHeaderSize {
+		return Frame{}, ErrShortFrame
+	}
+	return Frame{
+		Dst:     Addr(binary.BigEndian.Uint16(b[0:2])),
+		Src:     Addr(binary.BigEndian.Uint16(b[2:4])),
+		Payload: b[FrameHeaderSize:],
+	}, nil
+}

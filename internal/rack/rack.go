@@ -1,0 +1,195 @@
+// Package rack assembles a complete NetCache storage rack (SOSP'17 Fig. 2a):
+// one ToR switch running the NetCache program, N storage servers behind its
+// ports, M clients on upstream ports, the in-process fabric wiring them, and
+// the controller managing the switch cache.
+//
+// The rack is the functional, packet-level system — every query is a real
+// frame through the compiled switch pipeline. Experiments that need
+// paper-scale numbers (128 servers, billions of QPS) use the capacity models
+// in internal/harness on top of the same components.
+package rack
+
+import (
+	"fmt"
+
+	"netcache/internal/client"
+	"netcache/internal/controller"
+	"netcache/internal/netproto"
+	"netcache/internal/server"
+	"netcache/internal/simnet"
+	"netcache/internal/switchcore"
+	"netcache/internal/workload"
+)
+
+// Config sizes a rack.
+type Config struct {
+	// Switch configures the ToR switch program; zero value means
+	// switchcore.TestConfig.
+	Switch switchcore.Config
+	// Servers is the number of storage servers (each takes one switch
+	// port). Must be >= 1.
+	Servers int
+	// Clients is the number of client endpoints. Must be >= 1.
+	Clients int
+	// CacheCapacity caps cached items; zero means the switch limit.
+	CacheCapacity int
+	// ServerShards is the per-server store sharding. Zero means 4.
+	ServerShards int
+	// StorageEngine selects the servers' storage engine ("chained" or
+	// "cuckoo"); empty means chained.
+	StorageEngine string
+	// ControllerSampleK is the eviction sampling width. Zero means 8.
+	ControllerSampleK int
+	// WritePolicy optionally enables adaptive cache disabling under
+	// write-dominated load (§7.3).
+	WritePolicy controller.WritePolicy
+}
+
+// Addressing: servers get addresses [1, Servers], clients
+// [clientAddrBase, clientAddrBase+Clients).
+const clientAddrBase = 0x8000
+
+// ServerAddr returns the rack address of server i.
+func ServerAddr(i int) netproto.Addr { return netproto.Addr(1 + i) }
+
+// ClientAddr returns the rack address of client i.
+func ClientAddr(i int) netproto.Addr { return netproto.Addr(clientAddrBase + i) }
+
+// Rack is an assembled NetCache storage rack.
+type Rack struct {
+	cfg Config
+
+	Switch     *switchcore.Switch
+	Net        *simnet.Net
+	Servers    []*server.Server
+	Clients    []*client.Client
+	Controller *controller.Controller
+
+	// Partition is the rack's key→owner mapping, shared by clients,
+	// controller and harnesses.
+	Partition client.Partitioner
+
+	serverPorts map[netproto.Addr]int
+}
+
+// New builds and wires a rack.
+func New(cfg Config) (*Rack, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("rack: need at least one server, got %d", cfg.Servers)
+	}
+	if cfg.Clients < 1 {
+		return nil, fmt.Errorf("rack: need at least one client, got %d", cfg.Clients)
+	}
+	if cfg.Switch.CacheSize == 0 {
+		cfg.Switch = switchcore.TestConfig()
+	}
+	if cfg.ServerShards <= 0 {
+		cfg.ServerShards = 4
+	}
+	nPorts := cfg.Switch.Chip.NumPorts()
+	if cfg.Servers+cfg.Clients > nPorts {
+		return nil, fmt.Errorf("rack: %d servers + %d clients exceed %d switch ports",
+			cfg.Servers, cfg.Clients, nPorts)
+	}
+
+	sw, err := switchcore.New(cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	r := &Rack{
+		cfg:         cfg,
+		Switch:      sw,
+		Net:         simnet.New(sw),
+		serverPorts: make(map[netproto.Addr]int),
+	}
+
+	// Servers occupy ports [0, Servers): the downlinks of a ToR switch.
+	serverAddrs := make([]netproto.Addr, cfg.Servers)
+	nodes := make(map[netproto.Addr]controller.StorageNode, cfg.Servers)
+	for i := 0; i < cfg.Servers; i++ {
+		addr := ServerAddr(i)
+		port := i
+		srv := server.New(server.Config{Addr: addr, Shards: cfg.ServerShards, Engine: cfg.StorageEngine})
+		srv.SetSend(func(frame []byte) { r.Net.Inject(frame, port) })
+		r.Net.Attach(port, srv.Receive)
+		if err := sw.InstallRoute(addr, port); err != nil {
+			return nil, err
+		}
+		r.Servers = append(r.Servers, srv)
+		serverAddrs[i] = addr
+		nodes[addr] = srv
+		r.serverPorts[addr] = port
+	}
+	r.Partition = client.HashPartitioner(serverAddrs)
+
+	// Clients occupy the next ports: the upstream-facing side.
+	for i := 0; i < cfg.Clients; i++ {
+		addr := ClientAddr(i)
+		port := cfg.Servers + i
+		cl, err := client.New(client.Config{Addr: addr, Partition: r.Partition})
+		if err != nil {
+			return nil, err
+		}
+		cl.SetSend(func(frame []byte) { r.Net.Inject(frame, port) })
+		r.Net.Attach(port, cl.Receive)
+		if err := sw.InstallRoute(addr, port); err != nil {
+			return nil, err
+		}
+		r.Clients = append(r.Clients, cl)
+	}
+
+	ctl, err := controller.New(controller.Config{
+		Switch:    sw,
+		Nodes:     nodes,
+		Partition: func(key netproto.Key) netproto.Addr { return r.Partition(key) },
+		PortOf: func(addr netproto.Addr) (int, bool) {
+			p, ok := r.serverPorts[addr]
+			return p, ok
+		},
+		Capacity:    cfg.CacheCapacity,
+		SampleK:     cfg.ControllerSampleK,
+		WritePolicy: cfg.WritePolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Controller = ctl
+	return r, nil
+}
+
+// Client returns client i's library handle.
+func (r *Rack) Client(i int) *client.Client { return r.Clients[i] }
+
+// ServerOf returns the server agent owning key.
+func (r *Rack) ServerOf(key netproto.Key) *server.Server {
+	addr := r.Partition(key)
+	return r.Servers[int(addr)-1]
+}
+
+// ServerPort returns the switch port of server i.
+func (r *Rack) ServerPort(i int) int { return i }
+
+// LoadDataset installs n items (workload.KeyName(0..n-1) with canonical
+// values of valueSize bytes) directly into the owning servers' stores —
+// the pre-loaded dataset of the experiments.
+func (r *Rack) LoadDataset(n, valueSize int) {
+	for id := 0; id < n; id++ {
+		key := workload.KeyName(id)
+		r.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+	}
+}
+
+// PrePopulate installs the given keys into the switch cache through the
+// controller (the experiments start with the top-k hottest items cached,
+// §7.4).
+func (r *Rack) PrePopulate(keys []netproto.Key) error {
+	for _, k := range keys {
+		if err := r.Controller.InsertKey(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tick runs one controller cycle (cache update + statistics reset).
+func (r *Rack) Tick() { r.Controller.Tick() }

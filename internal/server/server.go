@@ -1,0 +1,367 @@
+// Package server implements the NetCache storage-server agent: the shim
+// layer between the wire protocol and the in-memory key-value store
+// (SOSP'17 §3 "Storage servers", §6). It has two jobs:
+//
+//  1. map NetCache query packets to key-value store calls, and
+//  2. enforce the write-through cache-coherence protocol of §4.3: when the
+//     switch marks a write as targeting a cached key (OpPutCached /
+//     OpDeleteCached), the agent applies the write atomically, replies to
+//     the client immediately, pushes the new value into the switch data
+//     plane with a reliable OpCacheUpdate (retried until acked), and blocks
+//     subsequent writes to that key until the switch confirms — so the
+//     switch cache and the store can never permanently diverge.
+//
+// The controller uses the same blocking machinery while it inserts a key
+// into the cache (§4.3 "write queries to this key are blocked at the
+// storage servers until the insertion is finished").
+package server
+
+import (
+	"sync"
+	"time"
+
+	"netcache/internal/kvstore"
+	"netcache/internal/netproto"
+	"netcache/internal/stats"
+)
+
+// Config tunes a server agent.
+type Config struct {
+	// Addr is the server's rack address.
+	Addr netproto.Addr
+	// Shards is the per-core sharding factor of the backing store.
+	Shards int
+	// Engine selects the storage engine: "chained" (default) or
+	// "cuckoo" (see kvstore.NewEngine).
+	Engine string
+	// RetryInterval is the cache-update retransmission period. Zero
+	// means 2ms.
+	RetryInterval time.Duration
+	// MaxRetries bounds cache-update retransmissions before the agent
+	// gives up and unblocks writers (the key stays invalid in the switch,
+	// which is safe: reads fall through to the server). Zero means 16.
+	MaxRetries int
+}
+
+// Metrics counts the agent's activity.
+type Metrics struct {
+	Gets, Puts, Deletes stats.Counter
+	CacheUpdatesSent    stats.Counter
+	CacheUpdateRetries  stats.Counter
+	CacheUpdateGiveUps  stats.Counter
+	WritesQueued        stats.Counter
+	StaleAcks           stats.Counter
+}
+
+// Server is one storage node. Attach it to the fabric with SetSend +
+// Receive. Safe for concurrent use.
+type Server struct {
+	cfg   Config
+	store kvstore.Engine
+	send  func(frame []byte)
+
+	mu   sync.Mutex
+	keys map[netproto.Key]*keyState
+
+	// control-request deduplication window (networked §4.3 protocol)
+	ctlSeen  map[uint64]bool
+	ctlOrder []uint64
+
+	// Metrics is exported for harnesses and tests.
+	Metrics Metrics
+}
+
+// keyState tracks per-key write blocking.
+type keyState struct {
+	// blocks counts controller-issued blocks (cache insertion windows).
+	blocks int
+	// pending is the in-flight cache update, if any.
+	pending *pendingUpdate
+	// queue holds writes deferred until the key unblocks.
+	queue []queuedWrite
+}
+
+type pendingUpdate struct {
+	seq   uint64
+	value []byte
+	tries int
+	timer *time.Timer
+}
+
+type queuedWrite struct {
+	src netproto.Addr
+	pkt netproto.Packet
+}
+
+// New returns a server agent backed by a fresh store. An unknown engine
+// name falls back to the default chained store.
+func New(cfg Config) *Server {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.RetryInterval <= 0 {
+		cfg.RetryInterval = 2 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 16
+	}
+	store := kvstore.NewEngine(cfg.Engine, cfg.Shards)
+	if store == nil {
+		store = kvstore.New(cfg.Shards)
+	}
+	return &Server{
+		cfg:   cfg,
+		store: store,
+		keys:  make(map[netproto.Key]*keyState),
+	}
+}
+
+// Addr returns the server's rack address.
+func (s *Server) Addr() netproto.Addr { return s.cfg.Addr }
+
+// Store exposes the backing storage engine (for preloading datasets in
+// harnesses).
+func (s *Server) Store() kvstore.Engine { return s.store }
+
+// SetSend installs the transmit function (frames leave toward the switch).
+// Must be called before traffic arrives.
+func (s *Server) SetSend(fn func(frame []byte)) { s.send = fn }
+
+// Receive handles one frame delivered to the server's port.
+func (s *Server) Receive(frame []byte) {
+	fr, err := netproto.DecodeFrame(frame)
+	if err != nil {
+		return
+	}
+	var pkt netproto.Packet
+	if netproto.Decode(fr.Payload, &pkt) != nil {
+		return
+	}
+	switch pkt.Op {
+	case netproto.OpGet:
+		s.handleGet(fr.Src, pkt)
+	case netproto.OpPut, netproto.OpPutCached, netproto.OpDelete, netproto.OpDeleteCached:
+		s.handleWrite(fr.Src, pkt)
+	case netproto.OpCacheUpdateAck:
+		s.handleAck(pkt)
+	case netproto.OpCtlBlock, netproto.OpCtlUnblock:
+		// The networked form of the controller's write-block window
+		// (§4.3), used when controller and server are separate
+		// processes. Retransmitted requests (lost acks) are deduped by
+		// SEQ so a block is never applied twice.
+		if s.ctlDedup(pkt.Seq) {
+			if pkt.Op == netproto.OpCtlBlock {
+				s.BlockWrites(pkt.Key)
+			} else {
+				s.UnblockWrites(pkt.Key)
+			}
+		}
+		s.reply(fr.Src, netproto.Packet{Op: netproto.OpCtlAck, Seq: pkt.Seq, Key: pkt.Key})
+	}
+}
+
+// ctlDedup records a control sequence number, returning false when it was
+// already applied. The window is bounded: old entries age out.
+func (s *Server) ctlDedup(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctlSeen == nil {
+		s.ctlSeen = make(map[uint64]bool)
+	}
+	if s.ctlSeen[seq] {
+		return false
+	}
+	s.ctlSeen[seq] = true
+	s.ctlOrder = append(s.ctlOrder, seq)
+	if len(s.ctlOrder) > 4096 {
+		delete(s.ctlSeen, s.ctlOrder[0])
+		s.ctlOrder = s.ctlOrder[1:]
+	}
+	return true
+}
+
+func (s *Server) handleGet(src netproto.Addr, pkt netproto.Packet) {
+	s.Metrics.Gets.Inc()
+	value, _, ok := s.store.Get(pkt.Key)
+	reply := netproto.Reply(&pkt, value, ok)
+	s.reply(src, reply)
+}
+
+// handleWrite applies a write or queues it if the key is blocked.
+func (s *Server) handleWrite(src netproto.Addr, pkt netproto.Packet) {
+	s.mu.Lock()
+	st := s.keys[pkt.Key]
+	if st != nil && (st.blocks > 0 || st.pending != nil) {
+		st.queue = append(st.queue, queuedWrite{src, pkt})
+		s.Metrics.WritesQueued.Inc()
+		s.mu.Unlock()
+		return
+	}
+	s.applyWriteLocked(src, pkt)
+}
+
+// applyWriteLocked applies the write, arranges the cache refresh for cached
+// keys, and releases the lock before sending anything.
+func (s *Server) applyWriteLocked(src netproto.Addr, pkt netproto.Packet) {
+	var refresh *pendingUpdate
+	switch pkt.Op {
+	case netproto.OpPut, netproto.OpPutCached:
+		s.Metrics.Puts.Inc()
+		version := s.store.Put(pkt.Key, pkt.Value)
+		if pkt.Op == netproto.OpPutCached {
+			// The key is cached: refresh the switch and block
+			// subsequent writes until the refresh is acked (§4.3).
+			refresh = &pendingUpdate{
+				seq:   version,
+				value: append([]byte(nil), pkt.Value...),
+			}
+			st := s.stateLocked(pkt.Key)
+			st.pending = refresh
+		}
+	case netproto.OpDelete, netproto.OpDeleteCached:
+		s.Metrics.Deletes.Inc()
+		s.store.Delete(pkt.Key)
+		// A deleted cached key stays invalid in the switch until the
+		// controller evicts it; reads fall through here and miss.
+	}
+	key := pkt.Key
+	s.mu.Unlock()
+
+	// Reply to the client immediately — the agent does not wait for the
+	// switch cache to be updated (§4.3: lower write latency than a
+	// standard write-through cache).
+	s.reply(src, netproto.Reply(&pkt, nil, true))
+
+	if refresh != nil {
+		s.sendCacheUpdate(key, refresh)
+		s.scheduleRetry(key, refresh.seq)
+	}
+}
+
+func (s *Server) stateLocked(key netproto.Key) *keyState {
+	st := s.keys[key]
+	if st == nil {
+		st = &keyState{}
+		s.keys[key] = st
+	}
+	return st
+}
+
+// sendCacheUpdate pushes the new value into the switch data plane. The
+// update travels addressed to the server itself so that the switch routes
+// it through the egress pipe owning the key's value slots and bounces the
+// ack straight back (§4.3: "the updates are purely in the data plane at
+// line rate").
+func (s *Server) sendCacheUpdate(key netproto.Key, u *pendingUpdate) {
+	s.Metrics.CacheUpdatesSent.Inc()
+	pkt := netproto.Packet{Op: netproto.OpCacheUpdate, Seq: u.seq, Key: key, Value: u.value}
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	s.send(netproto.MarshalFrame(s.cfg.Addr, s.cfg.Addr, payload))
+}
+
+// scheduleRetry arms the retransmission timer for a pending update — the
+// "light-weight high-performance reliable packet mechanism" of §6.
+func (s *Server) scheduleRetry(key netproto.Key, seq uint64) {
+	s.mu.Lock()
+	st := s.keys[key]
+	if st == nil || st.pending == nil || st.pending.seq != seq {
+		s.mu.Unlock()
+		return // already acked
+	}
+	u := st.pending
+	u.timer = time.AfterFunc(s.cfg.RetryInterval, func() { s.retry(key, seq) })
+	s.mu.Unlock()
+}
+
+func (s *Server) retry(key netproto.Key, seq uint64) {
+	s.mu.Lock()
+	st := s.keys[key]
+	if st == nil || st.pending == nil || st.pending.seq != seq {
+		s.mu.Unlock()
+		return // acked in the meantime
+	}
+	u := st.pending
+	u.tries++
+	if u.tries >= s.cfg.MaxRetries {
+		// Give up: the key stays invalid in the switch (safe — reads
+		// fall through) and writers unblock.
+		s.Metrics.CacheUpdateGiveUps.Inc()
+		st.pending = nil
+		s.drainLocked(key, st) // unlocks
+		return
+	}
+	s.Metrics.CacheUpdateRetries.Inc()
+	s.mu.Unlock()
+	s.sendCacheUpdate(key, u)
+	s.scheduleRetry(key, seq)
+}
+
+func (s *Server) handleAck(pkt netproto.Packet) {
+	s.mu.Lock()
+	st := s.keys[pkt.Key]
+	if st == nil || st.pending == nil || st.pending.seq != pkt.Seq {
+		s.Metrics.StaleAcks.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if st.pending.timer != nil {
+		st.pending.timer.Stop()
+	}
+	st.pending = nil
+	s.drainLocked(pkt.Key, st) // unlocks
+}
+
+// BlockWrites opens a controller write-block window on key (used during
+// cache insertion). Blocks nest.
+func (s *Server) BlockWrites(key netproto.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stateLocked(key).blocks++
+}
+
+// UnblockWrites closes a controller write-block window and processes any
+// writes that queued behind it.
+func (s *Server) UnblockWrites(key netproto.Key) {
+	s.mu.Lock()
+	st := s.keys[key]
+	if st == nil || st.blocks == 0 {
+		s.mu.Unlock()
+		return
+	}
+	st.blocks--
+	s.drainLocked(key, st) // unlocks
+}
+
+// FetchValue is the controller's read path when populating the cache.
+func (s *Server) FetchValue(key netproto.Key) (value []byte, version uint64, ok bool) {
+	return s.store.Get(key)
+}
+
+// drainLocked processes the next queued write if the key is now unblocked,
+// and garbage-collects empty states. It is called with the lock held and
+// releases it.
+func (s *Server) drainLocked(key netproto.Key, st *keyState) {
+	if st.blocks > 0 || st.pending != nil || len(st.queue) == 0 {
+		if st.blocks == 0 && st.pending == nil && len(st.queue) == 0 {
+			delete(s.keys, key)
+		}
+		s.mu.Unlock()
+		return
+	}
+	next := st.queue[0]
+	st.queue = st.queue[1:]
+	// applyWriteLocked unlocks; it may re-block the key (PutCached), in
+	// which case remaining queued writes wait for the next ack.
+	s.applyWriteLocked(next.src, next.pkt)
+}
+
+func (s *Server) reply(dst netproto.Addr, pkt netproto.Packet) {
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return
+	}
+	s.send(netproto.MarshalFrame(dst, s.cfg.Addr, payload))
+}

@@ -1,0 +1,140 @@
+// Package simnet is the in-process network fabric connecting clients and
+// storage servers to the NetCache switch: the stand-in for the testbed's
+// NICs and cables (SOSP'17 §7.1). Frames injected at a port traverse the
+// switch data plane; emissions are delivered synchronously to the endpoint
+// attached to the output port, or re-injected through a loopback cable —
+// the wiring used by the industry-standard snake test the paper benchmarks
+// with.
+//
+// Delivery is synchronous and reentrant: an endpoint's handler may inject
+// further frames (a storage server answering a query does exactly that).
+// Per-port loss injection exercises the reliable cache-update retry path.
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"netcache/internal/dataplane"
+	"netcache/internal/stats"
+)
+
+// Switch is the data-plane surface simnet drives.
+type Switch interface {
+	Process(frame []byte, inPort int) ([]dataplane.Emitted, error)
+}
+
+// Handler consumes frames delivered to an endpoint's port.
+type Handler func(frame []byte)
+
+// Net wires endpoints and cables to a switch. Attach all endpoints before
+// traffic starts; Attach/Cable/SetLoss are not safe to call concurrently
+// with Inject.
+type Net struct {
+	sw       Switch
+	handlers map[int]Handler
+	cables   map[int]int
+
+	lossMu sync.Mutex
+	loss   map[int]float64
+	rng    *rand.Rand
+
+	// Delivered counts frames handed to endpoints; Unattached counts
+	// emissions to ports with no endpoint or cable; LossDropped counts
+	// frames discarded by loss injection.
+	Delivered   stats.Counter
+	Unattached  stats.Counter
+	LossDropped stats.Counter
+}
+
+// New returns a fabric around sw.
+func New(sw Switch) *Net {
+	return &Net{
+		sw:       sw,
+		handlers: make(map[int]Handler),
+		cables:   make(map[int]int),
+		loss:     make(map[int]float64),
+		rng:      rand.New(rand.NewSource(1)),
+	}
+}
+
+// Attach connects an endpoint to a switch port.
+func (n *Net) Attach(port int, h Handler) {
+	if _, dup := n.handlers[port]; dup {
+		panic(fmt.Sprintf("simnet: port %d already attached", port))
+	}
+	if _, dup := n.cables[port]; dup {
+		panic(fmt.Sprintf("simnet: port %d already cabled", port))
+	}
+	n.handlers[port] = h
+}
+
+// Cable connects two switch ports with a loopback cable: frames emitted on
+// one are re-injected at the other, in both directions — the snake-test
+// wiring ("port 2i-1 is connected to port 2i", §7.1).
+func (n *Net) Cable(a, b int) {
+	for _, p := range []int{a, b} {
+		if _, dup := n.handlers[p]; dup {
+			panic(fmt.Sprintf("simnet: port %d already attached", p))
+		}
+		if _, dup := n.cables[p]; dup {
+			panic(fmt.Sprintf("simnet: port %d already cabled", p))
+		}
+	}
+	n.cables[a] = b
+	n.cables[b] = a
+}
+
+// SetLoss configures the probability of discarding a frame emitted toward
+// the given port. Safe to call between Injects.
+func (n *Net) SetLoss(port int, p float64) {
+	n.lossMu.Lock()
+	defer n.lossMu.Unlock()
+	if p <= 0 {
+		delete(n.loss, port)
+		return
+	}
+	if p > 1 {
+		p = 1
+	}
+	n.loss[port] = p
+}
+
+func (n *Net) dropByLoss(port int) bool {
+	n.lossMu.Lock()
+	defer n.lossMu.Unlock()
+	p, ok := n.loss[port]
+	if !ok {
+		return false
+	}
+	return n.rng.Float64() < p
+}
+
+// Inject pushes a frame into the switch at the given port and delivers all
+// resulting emissions. It returns the first switch error encountered.
+func (n *Net) Inject(frame []byte, port int) error {
+	out, err := n.sw.Process(frame, port)
+	if err != nil {
+		return err
+	}
+	for _, em := range out {
+		if n.dropByLoss(em.Port) {
+			n.LossDropped.Inc()
+			continue
+		}
+		if h, ok := n.handlers[em.Port]; ok {
+			n.Delivered.Inc()
+			h(em.Frame)
+			continue
+		}
+		if peer, ok := n.cables[em.Port]; ok {
+			if err := n.Inject(em.Frame, peer); err != nil {
+				return err
+			}
+			continue
+		}
+		n.Unattached.Inc()
+	}
+	return nil
+}

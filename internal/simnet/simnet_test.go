@@ -1,0 +1,146 @@
+package simnet
+
+import (
+	"testing"
+
+	"netcache/internal/dataplane"
+)
+
+// loopSwitch is a trivial Switch: it forwards every frame to the port given
+// by the frame's first byte.
+type loopSwitch struct{ processed int }
+
+func (s *loopSwitch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error) {
+	s.processed++
+	if len(frame) == 0 {
+		return nil, nil
+	}
+	return []dataplane.Emitted{{Port: int(frame[0]), Frame: frame}}, nil
+}
+
+func TestDeliveryToHandler(t *testing.T) {
+	sw := &loopSwitch{}
+	n := New(sw)
+	var got [][]byte
+	n.Attach(3, func(f []byte) { got = append(got, f) })
+	if err := n.Inject([]byte{3, 42}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0][1] != 42 {
+		t.Fatalf("delivered = %v", got)
+	}
+	if n.Delivered.Value() != 1 {
+		t.Errorf("Delivered = %d", n.Delivered.Value())
+	}
+}
+
+func TestUnattachedCounted(t *testing.T) {
+	n := New(&loopSwitch{})
+	n.Inject([]byte{9}, 0)
+	if n.Unattached.Value() != 1 {
+		t.Errorf("Unattached = %d", n.Unattached.Value())
+	}
+}
+
+func TestCableReinjects(t *testing.T) {
+	// Snake: frame bounces 0→1 (cable 1-2) →2 ... until port 5 handler.
+	sw := &hopSwitch{}
+	n := New(sw)
+	n.Cable(1, 2)
+	n.Cable(3, 4)
+	var got []byte
+	n.Attach(5, func(f []byte) { got = f })
+	if err := n.Inject([]byte{0}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("frame never reached port 5")
+	}
+	if sw.hops != 3 {
+		t.Errorf("switch traversals = %d, want 3 (snake)", sw.hops)
+	}
+}
+
+// hopSwitch emits each frame on inPort+1 — combined with cables this forms
+// a snake.
+type hopSwitch struct{ hops int }
+
+func (s *hopSwitch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error) {
+	s.hops++
+	return []dataplane.Emitted{{Port: inPort + 1, Frame: frame}}, nil
+}
+
+func TestLossInjection(t *testing.T) {
+	sw := &loopSwitch{}
+	n := New(sw)
+	delivered := 0
+	n.Attach(1, func([]byte) { delivered++ })
+	n.SetLoss(1, 1.0)
+	for i := 0; i < 100; i++ {
+		n.Inject([]byte{1}, 0)
+	}
+	if delivered != 0 {
+		t.Errorf("loss 1.0 delivered %d frames", delivered)
+	}
+	if n.LossDropped.Value() != 100 {
+		t.Errorf("LossDropped = %d", n.LossDropped.Value())
+	}
+	n.SetLoss(1, 0) // clear
+	n.Inject([]byte{1}, 0)
+	if delivered != 1 {
+		t.Error("clearing loss should restore delivery")
+	}
+	n.SetLoss(1, 42) // clamps to 1
+	n.Inject([]byte{1}, 0)
+	if delivered != 1 {
+		t.Error("clamped loss should drop")
+	}
+}
+
+func TestPartialLossRate(t *testing.T) {
+	sw := &loopSwitch{}
+	n := New(sw)
+	delivered := 0
+	n.Attach(1, func([]byte) { delivered++ })
+	n.SetLoss(1, 0.5)
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.Inject([]byte{1}, 0)
+	}
+	if delivered < 4500 || delivered > 5500 {
+		t.Errorf("50%% loss delivered %d/%d", delivered, total)
+	}
+}
+
+func TestDoubleAttachPanics(t *testing.T) {
+	n := New(&loopSwitch{})
+	n.Attach(0, func([]byte) {})
+	for i, fn := range []func(){
+		func() { n.Attach(0, func([]byte) {}) },
+		func() { n.Cable(0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReentrantHandler(t *testing.T) {
+	// A handler that injects a response, like a storage server.
+	sw := &loopSwitch{}
+	n := New(sw)
+	var final []byte
+	n.Attach(1, func(f []byte) {
+		n.Inject([]byte{2, f[1] + 1}, 1)
+	})
+	n.Attach(2, func(f []byte) { final = f })
+	n.Inject([]byte{1, 10}, 0)
+	if final == nil || final[1] != 11 {
+		t.Fatalf("reentrant delivery = %v", final)
+	}
+}

@@ -1,0 +1,214 @@
+// Package stats provides the light measurement utilities the NetCache
+// harness and examples use: monotonic counters, windowed rate meters, and a
+// fixed-bucket log-scale histogram for latency percentiles (the paper
+// reports average and tail latency in microseconds, §7.3).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter, safe for concurrent
+// use. The zero value is ready.
+type Counter struct{ n atomic.Uint64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Histogram is a log-bucketed histogram of positive values (e.g. latency in
+// nanoseconds). Buckets grow by a fixed ratio, giving ~2% relative error
+// with the default layout. Safe for concurrent use. The zero value is not
+// ready; construct with NewHistogram.
+type Histogram struct {
+	mu      sync.Mutex
+	min     float64
+	growth  float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+	maxSeen float64
+}
+
+// NewHistogram returns a histogram spanning [min, min*growth^buckets).
+// Values below min land in bucket 0; values above the span land in the last
+// bucket.
+func NewHistogram(min, growth float64, buckets int) *Histogram {
+	if min <= 0 || growth <= 1 || buckets < 1 {
+		panic("stats: bad histogram layout")
+	}
+	return &Histogram{min: min, growth: growth, buckets: make([]uint64, buckets)}
+}
+
+// NewLatencyHistogram returns a histogram suitable for 100 ns – 10 s
+// latencies with ~5% resolution.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100, 1.05, 400)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := 0
+	if v > h.min {
+		idx = int(math.Log(v/h.min) / math.Log(h.growth))
+		if idx >= len(h.buckets) {
+			idx = len(h.buckets) - 1
+		}
+	}
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v > h.maxSeen {
+		h.maxSeen = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observed value.
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.maxSeen
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]); 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for i, b := range h.buckets {
+		cum += b
+		if cum > target {
+			// Upper edge of bucket i.
+			return h.min * math.Pow(h.growth, float64(i+1))
+		}
+	}
+	return h.maxSeen
+}
+
+// Reset clears all state.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.count, h.sum, h.maxSeen = 0, 0, 0
+}
+
+// Summary renders count/mean/p50/p99/max, treating values as nanoseconds.
+func (h *Histogram) Summary() string {
+	return fmt.Sprintf("n=%d mean=%.0fns p50=%.0fns p99=%.0fns max=%.0fns",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
+}
+
+// Series is a named sequence of (x, y) points — the harness's unit of
+// figure output.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// YAt returns the y value for the given x, or 0 if absent.
+func (s *Series) YAt(x float64) float64 {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i]
+		}
+	}
+	return 0
+}
+
+// MaxY returns the largest y value (0 when empty).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for _, y := range s.Y {
+		if y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// MeanY returns the mean of y values (0 when empty).
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+// Gini returns the Gini coefficient of the y values — the load-imbalance
+// measure used to judge how well the cache balances per-server load
+// (0 = perfectly even, →1 = concentrated).
+func (s *Series) Gini() float64 {
+	n := len(s.Y)
+	if n == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), s.Y...)
+	sort.Float64s(ys)
+	var cum, total float64
+	for i, y := range ys {
+		cum += float64(i+1) * y
+		total += y
+	}
+	if total == 0 {
+		return 0
+	}
+	return (2*cum)/(float64(n)*total) - float64(n+1)/float64(n)
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(9)
+	if c.Value() != 10 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should be zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 1000)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-50500) > 1 {
+		t.Errorf("Mean = %f", m)
+	}
+	if h.Max() != 100000 {
+		t.Errorf("Max = %f", h.Max())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 40000 || p50 > 62000 {
+		t.Errorf("p50 = %f, want ~50000", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90000 || p99 > 115000 {
+		t.Errorf("p99 = %f, want ~100000", p99)
+	}
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(100, 2, 4) // spans [100, 1600)
+	h.Observe(1)                 // below min → bucket 0
+	h.Observe(1e12)              // above span → last bucket
+	if h.Count() != 2 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if q := h.Quantile(0); q <= 0 {
+		t.Errorf("q0 = %f", q)
+	}
+	if h.Quantile(-1) != h.Quantile(0) || h.Quantile(2) != h.Quantile(1) {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for i, fn := range []func(){
+		func() { NewHistogram(0, 2, 4) },
+		func() { NewHistogram(1, 1, 4) },
+		func() { NewHistogram(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d should panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: quantile error is bounded by the bucket growth factor.
+func TestQuickHistogramQuantileAccuracy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewLatencyHistogram()
+		var vals []float64
+		for i := 0; i < 500; i++ {
+			v := 100 + rng.Float64()*1e6
+			vals = append(vals, v)
+			h.Observe(v)
+		}
+		// Exact p50 from sorted values.
+		sorted := append([]float64(nil), vals...)
+		for i := range sorted {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] < sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		exact := sorted[len(sorted)/2]
+		approx := h.Quantile(0.5)
+		return approx >= exact*0.9 && approx <= exact*1.15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(5000)
+	if s := h.Summary(); s == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 10)
+	s.Add(2, 30)
+	s.Add(3, 20)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.YAt(2) != 30 || s.YAt(99) != 0 {
+		t.Error("YAt wrong")
+	}
+	if s.MaxY() != 30 {
+		t.Errorf("MaxY = %f", s.MaxY())
+	}
+	if s.MeanY() != 20 {
+		t.Errorf("MeanY = %f", s.MeanY())
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.MaxY() != 0 || s.MeanY() != 0 || s.Gini() != 0 {
+		t.Error("empty series should be all-zero")
+	}
+}
+
+func TestGini(t *testing.T) {
+	even := Series{Y: []float64{5, 5, 5, 5}}
+	if g := even.Gini(); math.Abs(g) > 1e-9 {
+		t.Errorf("even Gini = %f", g)
+	}
+	skewed := Series{Y: []float64{0, 0, 0, 100}}
+	if g := skewed.Gini(); g < 0.7 {
+		t.Errorf("skewed Gini = %f, want high", g)
+	}
+	zero := Series{Y: []float64{0, 0}}
+	if zero.Gini() != 0 {
+		t.Error("all-zero Gini should be 0")
+	}
+}

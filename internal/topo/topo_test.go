@@ -1,0 +1,82 @@
+package topo
+
+import (
+	"math"
+	"testing"
+
+	"netcache/internal/harness"
+)
+
+func TestPaperConfigDefaults(t *testing.T) {
+	c := PaperConfig(8)
+	if c.Racks != 8 || c.ServersPerRack != 128 || c.Theta != 0.99 {
+		t.Errorf("config = %+v", c)
+	}
+}
+
+func TestSingleRackMatchesRackModel(t *testing.T) {
+	// One rack with leaf caching must agree with the single-rack static
+	// model (same pmf, same partitioning hash, same server capacity).
+	c := PaperConfig(1)
+	got := c.Throughput(LeafCache)
+	want := harness.PaperRack(0.99).StaticThroughput(true).TotalQPS
+	if math.Abs(got-want)/want > 0.02 {
+		t.Errorf("1-rack LeafCache = %.4g, single-rack model = %.4g", got, want)
+	}
+	gotNoc := c.Throughput(NoCache)
+	wantNoc := harness.PaperRack(0.99).StaticThroughput(false).TotalQPS
+	if math.Abs(gotNoc-wantNoc)/wantNoc > 0.02 {
+		t.Errorf("1-rack NoCache = %.4g, single-rack model = %.4g", gotNoc, wantNoc)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	// At every scale: NoCache <= LeafCache <= LeafSpineCache.
+	for _, racks := range []int{1, 4, 16, 32} {
+		c := PaperConfig(racks)
+		noc := c.Throughput(NoCache)
+		leaf := c.Throughput(LeafCache)
+		spine := c.Throughput(LeafSpineCache)
+		if !(noc <= leaf*1.001 && leaf <= spine*1.001) {
+			t.Errorf("racks %d: ordering violated: %.3g %.3g %.3g", racks, noc, leaf, spine)
+		}
+	}
+}
+
+func TestLeafSpineScalesWithServers(t *testing.T) {
+	// Per-server throughput under Leaf-Spine should not collapse as the
+	// fabric grows (that is what "scales linearly" means).
+	per := func(racks int) float64 {
+		c := PaperConfig(racks)
+		return c.Throughput(LeafSpineCache) / float64(racks*c.ServersPerRack)
+	}
+	if per(32) < 0.8*per(1) {
+		t.Errorf("per-server throughput degraded: %.3g -> %.3g", per(1), per(32))
+	}
+}
+
+func TestTorCapBindsLeafCache(t *testing.T) {
+	// Shrinking the ToR capacity must reduce Leaf-Cache throughput at
+	// scale (the hottest rack's switch is the bottleneck).
+	big := PaperConfig(32)
+	small := PaperConfig(32)
+	small.TorQPS = harness.PipeQPS / 4
+	if small.Throughput(LeafCache) >= big.Throughput(LeafCache) {
+		t.Error("ToR capacity should bind Leaf-Cache at 32 racks")
+	}
+	// NoCache is indifferent to switch capacity.
+	if small.Throughput(NoCache) != big.Throughput(NoCache) {
+		t.Error("NoCache must not depend on ToR capacity")
+	}
+}
+
+func TestUniformWorkloadNeedsNoCache(t *testing.T) {
+	c := PaperConfig(4)
+	c.Theta = 0
+	noc := c.Throughput(NoCache)
+	// With a uniform workload every mode is server-bound at ~N*T.
+	want := float64(4*128) * harness.ServerQPS
+	if math.Abs(noc-want)/want > 0.15 {
+		t.Errorf("uniform NoCache = %.4g, want ~%.4g", noc, want)
+	}
+}

@@ -1,0 +1,438 @@
+// Package udptrans runs the NetCache components as separate processes over
+// real UDP sockets: the deployment story behind cmd/netcache-switch,
+// cmd/netcache-server and cmd/netcache-client.
+//
+// Each UDP datagram carries one rack frame (netproto frame header + packet),
+// standing in for the Ethernet/IP encapsulation of the paper's testbed. The
+// switch daemon is a userspace realization of the ToR switch: it binds one
+// socket, learns which UDP endpoint backs each rack address from the
+// traffic itself (the way an L2 switch learns MACs), pushes every frame
+// through the compiled NetCache pipeline, and hosts the controller. Control
+// traffic between the controller and the storage servers (value fetches for
+// cache population, write-block windows) travels on the same socket using
+// the reserved controller address, mirroring the paper's separation of the
+// control plane from the query path.
+package udptrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"netcache/internal/controller"
+	"netcache/internal/netproto"
+	"netcache/internal/switchcore"
+)
+
+// CtlAddr is the rack address reserved for the switch-resident controller.
+const CtlAddr = netproto.Addr(0xFFFF)
+
+// maxDatagram bounds one frame on the wire.
+const maxDatagram = 2048
+
+// SwitchConfig configures a switch daemon.
+type SwitchConfig struct {
+	// Listen is the UDP address to bind (e.g. "127.0.0.1:9000").
+	Listen string
+	// Switch sizes the data-plane program; zero value uses
+	// switchcore.TestConfig.
+	Switch switchcore.Config
+	// CacheCapacity caps cached items (zero: switch limit).
+	CacheCapacity int
+	// Cycle is the controller period (zero: 1s, like the paper).
+	Cycle time.Duration
+	// Logf receives operational messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// SwitchDaemon is a running userspace NetCache switch.
+type SwitchDaemon struct {
+	cfg  SwitchConfig
+	sw   *switchcore.Switch
+	ctl  *controller.Controller
+	conn *net.UDPConn
+	logf func(string, ...any)
+
+	mu        sync.Mutex
+	portOf    map[netproto.Addr]int
+	endpoints map[int]*net.UDPAddr
+	nextPort  int
+
+	rpcMu   sync.Mutex
+	rpcSeq  uint64
+	pending map[uint64]chan netproto.Packet
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewSwitch binds the socket and compiles the pipeline; Run starts serving.
+func NewSwitch(cfg SwitchConfig) (*SwitchDaemon, error) {
+	if cfg.Switch.CacheSize == 0 {
+		cfg.Switch = switchcore.TestConfig()
+	}
+	if cfg.Cycle <= 0 {
+		cfg.Cycle = time.Second
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	sw, err := switchcore.New(cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.Listen)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &SwitchDaemon{
+		cfg:       cfg,
+		sw:        sw,
+		conn:      conn,
+		logf:      logf,
+		portOf:    make(map[netproto.Addr]int),
+		endpoints: make(map[int]*net.UDPAddr),
+		pending:   make(map[uint64]chan netproto.Packet),
+		done:      make(chan struct{}),
+	}
+	ctl, err := controller.New(controller.Config{
+		Switch: sw,
+		Nodes:  map[netproto.Addr]controller.StorageNode{},
+		// The daemon does not know the client-side partitioning, so
+		// Partition never resolves and ownership falls through to
+		// Resolve, which probes the learned servers: the owner is
+		// whichever server answers the fetch.
+		Partition: func(netproto.Key) netproto.Addr { return 0 },
+		Resolve:   d.resolveOwner,
+		PortOf: func(a netproto.Addr) (int, bool) {
+			d.mu.Lock()
+			defer d.mu.Unlock()
+			p, ok := d.portOf[a]
+			return p, ok
+		},
+		Capacity: cfg.CacheCapacity,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	d.ctl = ctl
+	return d, nil
+}
+
+// Addr returns the bound UDP address.
+func (d *SwitchDaemon) Addr() *net.UDPAddr { return d.conn.LocalAddr().(*net.UDPAddr) }
+
+// Close stops the daemon.
+func (d *SwitchDaemon) Close() {
+	d.stopOnce.Do(func() {
+		close(d.done)
+		d.conn.Close()
+	})
+}
+
+// Run serves until Close. It blocks; start it in a goroutine if needed.
+func (d *SwitchDaemon) Run() error {
+	go d.controllerLoop()
+	buf := make([]byte, maxDatagram)
+	for {
+		n, from, err := d.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-d.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		d.handle(buf[:n], from)
+	}
+}
+
+func (d *SwitchDaemon) handle(datagram []byte, from *net.UDPAddr) {
+	fr, err := netproto.DecodeFrame(datagram)
+	if err != nil {
+		return
+	}
+	port := d.learn(fr.Src, from)
+
+	// Control traffic addressed to the daemon bypasses the pipeline.
+	if fr.Dst == CtlAddr {
+		d.handleCtl(fr, from)
+		return
+	}
+
+	out, err := d.sw.Process(datagram, port)
+	if err != nil {
+		d.logf("switch: process: %v", err)
+		return
+	}
+	for _, em := range out {
+		d.mu.Lock()
+		ep := d.endpoints[em.Port]
+		d.mu.Unlock()
+		if ep == nil {
+			continue // emission toward a port never learned
+		}
+		if _, err := d.conn.WriteToUDP(em.Frame, ep); err != nil {
+			d.logf("switch: tx: %v", err)
+		}
+	}
+}
+
+// learn binds a rack address to the sending UDP endpoint, allocating a
+// switch port on first sight, and returns the port.
+func (d *SwitchDaemon) learn(addr netproto.Addr, from *net.UDPAddr) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if p, ok := d.portOf[addr]; ok {
+		d.endpoints[p] = from // endpoint may move (client restart)
+		return p
+	}
+	p := d.nextPort
+	if p >= d.sw.Config().Chip.NumPorts() {
+		d.logf("switch: out of ports for %v", addr)
+		return 0
+	}
+	d.nextPort++
+	d.portOf[addr] = p
+	d.endpoints[p] = from
+	if err := d.sw.InstallRoute(addr, p); err != nil {
+		d.logf("switch: route %v: %v", addr, err)
+	}
+	d.logf("switch: learned addr %d at %v (port %d)", addr, from, p)
+	return p
+}
+
+// handleCtl answers control requests addressed to the daemon and routes
+// control replies to the waiting RPCs.
+func (d *SwitchDaemon) handleCtl(fr netproto.Frame, from *net.UDPAddr) {
+	var pkt netproto.Packet
+	if netproto.Decode(fr.Payload, &pkt) != nil {
+		return
+	}
+	switch pkt.Op {
+	case netproto.OpCtlStats:
+		st := d.sw.Pipeline().Stats()
+		val := make([]byte, 0, 40)
+		for _, v := range []uint64{
+			st.RxPackets, st.TxPackets, st.Mirrored, st.Digests, uint64(d.ctl.Len()),
+		} {
+			val = append(val, byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+				byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+		}
+		reply := netproto.Packet{Op: netproto.OpCtlStatsReply, Seq: pkt.Seq, Key: pkt.Key, Value: val}
+		payload, _ := reply.Marshal()
+		d.conn.WriteToUDP(netproto.MarshalFrame(fr.Src, CtlAddr, payload), from)
+	case netproto.OpGetReply, netproto.OpGetReplyMiss, netproto.OpCtlAck:
+		d.rpcMu.Lock()
+		ch, ok := d.pending[pkt.Seq]
+		if ok {
+			delete(d.pending, pkt.Seq)
+		}
+		d.rpcMu.Unlock()
+		if ok {
+			if pkt.Value != nil {
+				pkt.Value = append([]byte(nil), pkt.Value...)
+			}
+			ch <- pkt
+		}
+	}
+}
+
+// rpc sends a control request to a server and awaits the reply.
+func (d *SwitchDaemon) rpc(dst netproto.Addr, pkt netproto.Packet) (netproto.Packet, error) {
+	d.mu.Lock()
+	port, ok := d.portOf[dst]
+	ep := d.endpoints[port]
+	d.mu.Unlock()
+	if !ok || ep == nil {
+		return netproto.Packet{}, fmt.Errorf("udptrans: no endpoint for addr %d", dst)
+	}
+	d.rpcMu.Lock()
+	d.rpcSeq++
+	pkt.Seq = d.rpcSeq
+	ch := make(chan netproto.Packet, 1)
+	d.pending[pkt.Seq] = ch
+	d.rpcMu.Unlock()
+	defer func() {
+		d.rpcMu.Lock()
+		delete(d.pending, pkt.Seq)
+		d.rpcMu.Unlock()
+	}()
+
+	payload, err := pkt.Marshal()
+	if err != nil {
+		return netproto.Packet{}, err
+	}
+	frame := netproto.MarshalFrame(dst, CtlAddr, payload)
+	for attempt := 0; attempt < 5; attempt++ {
+		if _, err := d.conn.WriteToUDP(frame, ep); err != nil {
+			return netproto.Packet{}, err
+		}
+		select {
+		case reply := <-ch:
+			return reply, nil
+		case <-time.After(50 * time.Millisecond):
+		case <-d.done:
+			return netproto.Packet{}, errors.New("udptrans: daemon closed")
+		}
+	}
+	return netproto.Packet{}, fmt.Errorf("udptrans: ctl rpc to %d timed out", dst)
+}
+
+// remoteNode adapts a learned server endpoint to the controller's
+// StorageNode interface using the control RPCs.
+type remoteNode struct {
+	d    *SwitchDaemon
+	addr netproto.Addr
+}
+
+func (n *remoteNode) Addr() netproto.Addr { return n.addr }
+
+func (n *remoteNode) FetchValue(key netproto.Key) ([]byte, uint64, bool) {
+	reply, err := n.d.rpc(n.addr, netproto.Packet{Op: netproto.OpGet, Key: key})
+	if err != nil || reply.Op != netproto.OpGetReply {
+		return nil, 0, false
+	}
+	return reply.Value, reply.Seq, true
+}
+
+func (n *remoteNode) BlockWrites(key netproto.Key) {
+	n.d.rpc(n.addr, netproto.Packet{Op: netproto.OpCtlBlock, Key: key})
+}
+
+func (n *remoteNode) UnblockWrites(key netproto.Key) {
+	n.d.rpc(n.addr, netproto.Packet{Op: netproto.OpCtlUnblock, Key: key})
+}
+
+// resolveOwner probes the learned servers for the key; the owner is the one
+// that answers the fetch. Rack convention: server addresses sit below the
+// 0x8000 client space.
+func (d *SwitchDaemon) resolveOwner(key netproto.Key) (controller.StorageNode, bool) {
+	d.mu.Lock()
+	addrs := make([]netproto.Addr, 0, len(d.portOf))
+	for a := range d.portOf {
+		if a < 0x8000 && a != CtlAddr {
+			addrs = append(addrs, a)
+		}
+	}
+	d.mu.Unlock()
+	for _, a := range addrs {
+		node := &remoteNode{d: d, addr: a}
+		if _, _, ok := node.FetchValue(key); ok {
+			return node, true
+		}
+	}
+	return nil, false
+}
+
+// controllerLoop runs the cache-update cycle on the configured period, like
+// the paper's once-per-second refresh.
+func (d *SwitchDaemon) controllerLoop() {
+	t := time.NewTicker(d.cfg.Cycle)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.done:
+			return
+		case <-t.C:
+			before := d.ctl.Metrics.Inserts.Value()
+			d.ctl.Tick()
+			if n := d.ctl.Metrics.Inserts.Value() - before; n > 0 {
+				d.logf("switch: controller cycle cached %d hot key(s), cache=%d", n, d.ctl.Len())
+			}
+		}
+	}
+}
+
+// Controller exposes the daemon's controller (stats, forced inserts).
+func (d *SwitchDaemon) Controller() *controller.Controller { return d.ctl }
+
+// Switch exposes the daemon's compiled switch.
+func (d *SwitchDaemon) Switch() *switchcore.Switch { return d.sw }
+
+// Endpoint is the peer side of the UDP fabric: the socket a storage server
+// or client binds, pointed at the switch daemon.
+type Endpoint struct {
+	conn       *net.UDPConn
+	switchAddr *net.UDPAddr
+	closeOnce  sync.Once
+}
+
+// Dial binds an ephemeral UDP socket aimed at the switch daemon.
+func Dial(switchAddr string) (*Endpoint, error) {
+	sw, err := net.ResolveUDPAddr("udp", switchAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	return &Endpoint{conn: conn, switchAddr: sw}, nil
+}
+
+// Send transmits one frame to the switch. Errors are dropped: UDP semantics.
+func (e *Endpoint) Send(frame []byte) {
+	e.conn.WriteToUDP(frame, e.switchAddr)
+}
+
+// Hello announces self to the switch so it learns the address→endpoint
+// binding before any traffic targets it. The frame routes back to self and
+// is discarded by the receiver.
+func (e *Endpoint) Hello(self netproto.Addr) {
+	e.Send(netproto.MarshalFrame(self, self, []byte("hello")))
+}
+
+// Run delivers received frames to fn until Close.
+func (e *Endpoint) Run(fn func(frame []byte)) error {
+	buf := make([]byte, maxDatagram)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		frame := make([]byte, n)
+		copy(frame, buf[:n])
+		fn(frame)
+	}
+}
+
+// Close shuts the socket; Run returns.
+func (e *Endpoint) Close() { e.closeOnce.Do(func() { e.conn.Close() }) }
+
+// StartHello announces self immediately and then re-announces on the given
+// interval until the returned stop function is called. A single Hello can
+// race the daemon's socket bind or be lost outright (UDP); the heartbeat
+// also re-teaches a restarted switch, whose learned bindings die with it.
+func (e *Endpoint) StartHello(self netproto.Addr, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	e.Hello(self)
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				e.Hello(self)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,343 @@
+package udptrans
+
+// Integration tests: the full NetCache deployment — switch daemon, storage
+// servers, client — as separate goroutines over real loopback UDP sockets,
+// exactly what cmd/netcache-{switch,server,client} run as processes.
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"netcache/internal/client"
+	"netcache/internal/netproto"
+	"netcache/internal/server"
+	"netcache/internal/workload"
+)
+
+// deployment is a switch daemon plus n servers plus one client, all over
+// loopback UDP.
+type deployment struct {
+	daemon  *SwitchDaemon
+	servers []*server.Server
+	cli     *client.Client
+	eps     []*Endpoint
+}
+
+func deploy(t *testing.T, nServers int, cycle time.Duration) *deployment {
+	t.Helper()
+	d, err := NewSwitch(SwitchConfig{
+		Listen:        "127.0.0.1:0",
+		CacheCapacity: 64,
+		Cycle:         cycle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go d.Run()
+	t.Cleanup(d.Close)
+	swAddr := d.Addr().String()
+
+	dep := &deployment{daemon: d}
+	addrs := make([]netproto.Addr, nServers)
+	for i := 0; i < nServers; i++ {
+		addr := netproto.Addr(i + 1)
+		addrs[i] = addr
+		srv := server.New(server.Config{Addr: addr, Shards: 2})
+		ep, err := Dial(swAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(ep.Close)
+		srv.SetSend(ep.Send)
+		go ep.Run(srv.Receive)
+		ep.Hello(addr)
+		dep.servers = append(dep.servers, srv)
+		dep.eps = append(dep.eps, ep)
+	}
+
+	cep, err := Dial(swAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cep.Close)
+	cli, err := client.New(client.Config{
+		Addr:      netproto.Addr(0x8001),
+		Partition: client.HashPartitioner(addrs),
+		Timeout:   100 * time.Millisecond,
+		Retries:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.SetSend(cep.Send)
+	go cep.Run(cli.Receive)
+	dep.cli = cli
+	dep.eps = append(dep.eps, cep)
+	return dep
+}
+
+func (d *deployment) serverOf(key netproto.Key) *server.Server {
+	return d.servers[client.PartitionOf(key, len(d.servers))]
+}
+
+func TestUDPEndToEndCRUD(t *testing.T) {
+	dep := deploy(t, 2, time.Hour) // controller idle
+	key := netproto.KeyFromString("user:1")
+
+	if _, err := dep.cli.Get(key); err != client.ErrNotFound {
+		t.Fatalf("absent Get: %v", err)
+	}
+	if err := dep.cli.Put(key, []byte("alice")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dep.cli.Get(key)
+	if err != nil || string(v) != "alice" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := dep.cli.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.cli.Get(key); err != client.ErrNotFound {
+		t.Fatalf("Get after delete: %v", err)
+	}
+}
+
+func TestUDPHotKeyCachedByDaemonController(t *testing.T) {
+	dep := deploy(t, 2, 50*time.Millisecond)
+	key := workload.KeyName(7)
+	value := workload.ValueFor(7, 48)
+	if err := dep.cli.Put(key, value); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hammer the key past the hot threshold and wait for a controller
+	// cycle to cache it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !dep.daemon.Controller().Cached(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon controller never cached the hot key")
+		}
+		if _, err := dep.cli.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Served by the switch now: the server's Get counter freezes.
+	srv := dep.serverOf(key)
+	gets := srv.Metrics.Gets.Value()
+	for i := 0; i < 10; i++ {
+		v, err := dep.cli.Get(key)
+		if err != nil || !bytes.Equal(v, value) {
+			t.Fatalf("cached Get = %v, %v", v, err)
+		}
+	}
+	if after := srv.Metrics.Gets.Value(); after != gets {
+		t.Errorf("server saw %d reads of a cached key", after-gets)
+	}
+}
+
+func TestUDPCoherentWriteToCachedKey(t *testing.T) {
+	dep := deploy(t, 2, 50*time.Millisecond)
+	key := workload.KeyName(3)
+	if err := dep.cli.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !dep.daemon.Controller().Cached(key) {
+		if time.Now().After(deadline) {
+			t.Fatal("key never cached")
+		}
+		dep.cli.Get(key)
+	}
+	// Write through the cached key, then read: must be the new value,
+	// served by the switch after the data-plane refresh.
+	if err := dep.cli.Put(key, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := dep.cli.Get(key)
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("post-write Get = %q, %v", v, err)
+	}
+	srv := dep.serverOf(key)
+	if srv.Metrics.CacheUpdatesSent.Value() == 0 {
+		t.Error("server never refreshed the switch over UDP")
+	}
+}
+
+func TestUDPStatsRPC(t *testing.T) {
+	dep := deploy(t, 1, time.Hour)
+	dep.cli.Put(netproto.KeyFromString("k"), []byte("v"))
+
+	// Issue the stats control request directly.
+	swAddr := dep.daemon.Addr().String()
+	ep, err := Dial(swAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	pkt := netproto.Packet{Op: netproto.OpCtlStats, Seq: 42}
+	payload, _ := pkt.Marshal()
+	got := make(chan netproto.Packet, 1)
+	go ep.Run(func(frame []byte) {
+		fr, err := netproto.DecodeFrame(frame)
+		if err != nil {
+			return
+		}
+		var p netproto.Packet
+		if netproto.Decode(fr.Payload, &p) == nil && p.Op == netproto.OpCtlStatsReply {
+			p.Value = append([]byte(nil), p.Value...)
+			got <- p
+		}
+	})
+	ep.Send(netproto.MarshalFrame(CtlAddr, netproto.Addr(0x9000), payload))
+	select {
+	case p := <-got:
+		if p.Seq != 42 || len(p.Value) != 40 {
+			t.Errorf("stats reply = %+v", p)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no stats reply")
+	}
+}
+
+func TestUDPDaemonRejectsGarbage(t *testing.T) {
+	dep := deploy(t, 1, time.Hour)
+	ep, err := Dial(dep.daemon.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	ep.Send([]byte{0x1})                      // not even a frame
+	ep.Send(netproto.MarshalFrame(9, 9, nil)) // empty payload
+	// The daemon must still be alive.
+	if err := dep.cli.Put(netproto.KeyFromString("k"), []byte("v")); err != nil {
+		t.Fatalf("daemon died on garbage: %v", err)
+	}
+}
+
+func TestUDPRemoteBlockWindow(t *testing.T) {
+	// The networked §4.3 block protocol: block via control RPC, verify a
+	// write queues, unblock, verify it applies.
+	dep := deploy(t, 1, time.Hour)
+	key := netproto.KeyFromString("blocked")
+	node := &remoteNode{d: dep.daemon, addr: 1}
+
+	// The daemon can only RPC servers it has learned. The async Hello
+	// may still be in flight, so force one full round trip first.
+	if _, err := dep.cli.Get(key); err != client.ErrNotFound {
+		t.Fatalf("warm-up Get: %v", err)
+	}
+	node.BlockWrites(key)
+	done := make(chan error, 1)
+	go func() { done <- dep.cli.Put(key, []byte("v")) }()
+	select {
+	case <-done:
+		t.Fatal("write completed during block window")
+	case <-time.After(300 * time.Millisecond):
+	}
+	node.UnblockWrites(key)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("write after unblock: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write never completed after unblock")
+	}
+	if v, _, ok := dep.servers[0].Store().Get(key); !ok || string(v) != "v" {
+		t.Errorf("store = %q %v", v, ok)
+	}
+}
+
+func TestHelloHeartbeatSurvivesLateSwitch(t *testing.T) {
+	// The regression behind StartHello: a server whose first Hello is
+	// lost (here: sent into the void before any switch listens) must
+	// still become reachable once the heartbeat lands.
+	d, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", Cycle: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	swAddr := d.Addr().String()
+
+	srv := server.New(server.Config{Addr: 1, Shards: 1})
+	ep, err := Dial(swAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ep.Close)
+	srv.SetSend(ep.Send)
+	go ep.Run(srv.Receive)
+	stop := ep.StartHello(1, 20*time.Millisecond)
+	defer stop()
+
+	// Only now does the switch start serving: the first Hello went to a
+	// bound-but-unserved socket buffer... simulate the worst case by
+	// draining nothing until here.
+	go d.Run()
+
+	cep, err := Dial(swAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cep.Close)
+	cli, err := client.New(client.Config{
+		Addr:      0x8001,
+		Partition: func(netproto.Key) netproto.Addr { return 1 },
+		Timeout:   50 * time.Millisecond,
+		Retries:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.SetSend(cep.Send)
+	go cep.Run(cli.Receive)
+
+	if err := cli.Put(netproto.KeyFromString("k"), []byte("v")); err != nil {
+		t.Fatalf("server unreachable despite heartbeat: %v", err)
+	}
+}
+
+func TestPortExhaustionDoesNotCrash(t *testing.T) {
+	// More distinct rack addresses than the chip has ports: the daemon
+	// logs and keeps serving the peers it did learn.
+	d, err := NewSwitch(SwitchConfig{Listen: "127.0.0.1:0", Cycle: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Close)
+	go d.Run()
+
+	ep, err := Dial(d.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(ep.Close)
+	nPorts := d.Switch().Config().Chip.NumPorts()
+	for i := 0; i < nPorts+16; i++ {
+		ep.Hello(netproto.Addr(0x4000 + i))
+	}
+	// The daemon must still answer control requests.
+	pkt := netproto.Packet{Op: netproto.OpCtlStats, Seq: 7}
+	payload, _ := pkt.Marshal()
+	got := make(chan struct{}, 1)
+	go ep.Run(func(frame []byte) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		ep.Send(netproto.MarshalFrame(CtlAddr, 0x4000, payload))
+		select {
+		case <-got:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon unresponsive after port exhaustion")
+		}
+	}
+}

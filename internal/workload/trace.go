@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace files give experiments replayable inputs: a generated query stream
+// can be recorded once and replayed byte-identically across runs, engines,
+// or deployments — the synthetic stand-in for the production traces the
+// paper's motivating studies used.
+//
+// Format: an 8-byte header ("NCTRACE" + version), then one 5-byte record
+// per query: op byte ('R' read / 'W' write) and a 32-bit big-endian key ID.
+// Values are not recorded; replays use the canonical ValueFor.
+
+var traceMagic = [8]byte{'N', 'C', 'T', 'R', 'A', 'C', 'E', 1}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// TraceWriter streams queries to a trace file.
+type TraceWriter struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceWriter writes the header and returns the writer.
+func NewTraceWriter(w io.Writer) (*TraceWriter, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return nil, err
+	}
+	return &TraceWriter{w: bw}, nil
+}
+
+// Append records one query.
+func (t *TraceWriter) Append(q Query) error {
+	if t.err != nil {
+		return t.err
+	}
+	op := byte('R')
+	if q.Write {
+		op = 'W'
+	}
+	var rec [5]byte
+	rec[0] = op
+	binary.BigEndian.PutUint32(rec[1:], uint32(q.Key))
+	if _, err := t.w.Write(rec[:]); err != nil {
+		t.err = err
+		return err
+	}
+	t.n++
+	return nil
+}
+
+// Len returns the number of appended queries.
+func (t *TraceWriter) Len() int { return t.n }
+
+// Flush drains the buffer to the underlying writer.
+func (t *TraceWriter) Flush() error {
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// TraceReader streams queries back from a trace file.
+type TraceReader struct {
+	r *bufio.Reader
+}
+
+// NewTraceReader validates the header and returns the reader.
+func NewTraceReader(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header", ErrBadTrace)
+	}
+	if hdr != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadTrace)
+	}
+	return &TraceReader{r: br}, nil
+}
+
+// Next returns the next query; io.EOF at the end of the trace.
+func (t *TraceReader) Next() (Query, error) {
+	var rec [5]byte
+	if _, err := io.ReadFull(t.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return Query{}, io.EOF
+		}
+		return Query{}, fmt.Errorf("%w: truncated record", ErrBadTrace)
+	}
+	var q Query
+	switch rec[0] {
+	case 'R':
+	case 'W':
+		q.Write = true
+	default:
+		return Query{}, fmt.Errorf("%w: unknown op %q", ErrBadTrace, rec[0])
+	}
+	q.Key = int(binary.BigEndian.Uint32(rec[1:]))
+	return q, nil
+}
+
+// Record captures n queries from a generator into a trace.
+func Record(w io.Writer, g *Generator, n int) error {
+	tw, err := NewTraceWriter(w)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := tw.Append(g.Next()); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// Replay invokes fn for every query in the trace.
+func Replay(r io.Reader, fn func(Query) error) error {
+	tr, err := NewTraceReader(r)
+	if err != nil {
+		return err
+	}
+	for {
+		q, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(q); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import "fmt"
+
+// YCSB-style preset mixes. The paper's workloads follow the YCSB tradition
+// it cites ([11] Cooper et al.): Zipfian request distributions with standard
+// read/update ratios. These presets give downstream users the familiar
+// names; the evaluation itself uses the explicit GeneratorConfig knobs.
+//
+//	A: update heavy — 50% reads, 50% updates, Zipf 0.99
+//	B: read mostly  — 95% reads,  5% updates, Zipf 0.99
+//	C: read only    — 100% reads,             Zipf 0.99
+type YCSBPreset byte
+
+// The implemented presets.
+const (
+	YCSBA YCSBPreset = 'A'
+	YCSBB YCSBPreset = 'B'
+	YCSBC YCSBPreset = 'C'
+)
+
+// YCSB returns a generator for the named preset over n keys. The returned
+// Popularity is the (initially identity) rank→key mapping, exposed so
+// callers can churn it.
+func YCSB(preset YCSBPreset, n int, seed int64) (*Generator, *Popularity, error) {
+	z, err := NewZipf(n, 0.99)
+	if err != nil {
+		return nil, nil, err
+	}
+	pop := NewPopularity(n)
+	dist := ZipfDist{Z: z, Pop: pop}
+	cfg := GeneratorConfig{Reads: dist, Writes: dist, Seed: seed}
+	switch preset {
+	case YCSBA:
+		cfg.WriteRatio = 0.5
+	case YCSBB:
+		cfg.WriteRatio = 0.05
+	case YCSBC:
+		cfg.WriteRatio = 0
+		cfg.Writes = nil
+	default:
+		return nil, nil, fmt.Errorf("workload: unknown YCSB preset %q", string(preset))
+	}
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, pop, nil
+}

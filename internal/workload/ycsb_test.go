@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestYCSBPresets(t *testing.T) {
+	cases := map[YCSBPreset]float64{YCSBA: 0.5, YCSBB: 0.05, YCSBC: 0}
+	for preset, wantRatio := range cases {
+		g, pop, err := YCSB(preset, 10000, 1)
+		if err != nil {
+			t.Fatalf("%c: %v", preset, err)
+		}
+		if pop.N() != 10000 {
+			t.Errorf("%c: popularity over %d keys", preset, pop.N())
+		}
+		writes := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			q := g.Next()
+			if q.Write {
+				writes++
+			}
+			if q.Key < 0 || q.Key >= 10000 {
+				t.Fatalf("%c: key %d out of range", preset, q.Key)
+			}
+		}
+		got := float64(writes) / n
+		if math.Abs(got-wantRatio) > 0.01 {
+			t.Errorf("%c: write ratio %.3f, want %.2f", preset, got, wantRatio)
+		}
+	}
+}
+
+func TestYCSBUnknownPreset(t *testing.T) {
+	if _, _, err := YCSB('Z', 100, 1); err == nil {
+		t.Error("unknown preset should fail")
+	}
+}
+
+func TestYCSBSkewIsZipfian(t *testing.T) {
+	g, _, err := YCSB(YCSBC, 100000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Key < 1000 {
+			top++
+		}
+	}
+	// Zipf 0.99 over 100k keys puts well over a third of the mass in the
+	// top 1%.
+	if frac := float64(top) / n; frac < 0.35 {
+		t.Errorf("top-1%% mass = %.2f, not Zipfian", frac)
+	}
+}
+
+func TestYCSBChurnable(t *testing.T) {
+	g, pop, err := YCSB(YCSBB, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop.HotIn(10)
+	// Key 990 (formerly coldest) must now dominate.
+	counts := make(map[int]int)
+	for i := 0; i < 20000; i++ {
+		counts[g.Next().Key]++
+	}
+	best, bestKey := 0, -1
+	for k, c := range counts {
+		if c > best {
+			best, bestKey = c, k
+		}
+	}
+	if bestKey != 990 {
+		t.Errorf("hottest key after HotIn(10) = %d, want 990", bestKey)
+	}
+}
