@@ -7,7 +7,9 @@ GO ?= go
 
 all: vet test
 
-test:
+# The default test target includes the race detector: the data plane is
+# concurrent end to end, so a non-race run alone proves little.
+test: race
 	$(GO) test ./...
 
 race:

@@ -7,9 +7,12 @@ package netcache
 // `go run ./cmd/netcache-bench`; EXPERIMENTS.md records paper-vs-measured.
 
 import (
+	"sync/atomic"
 	"testing"
 
 	"netcache/internal/harness"
+	"netcache/internal/netproto"
+	"netcache/internal/rack"
 	"netcache/internal/workload"
 )
 
@@ -211,6 +214,88 @@ func BenchmarkEndToEndPutCached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// pipelineBenchRig builds a rack and a ready-to-inject cache-hit GET frame
+// for raw pipeline benchmarks (no client/simnet overhead — just Process).
+func pipelineBenchRig(b *testing.B) (r *rack.Rack, frame []byte, inPort int) {
+	b.Helper()
+	r, err := rack.New(rack.Config{Servers: 4, Clients: 2, CacheCapacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.LoadDataset(128, 128)
+	key := workload.KeyName(3)
+	if err := r.PrePopulate([]netproto.Key{key}); err != nil {
+		b.Fatal(err)
+	}
+	pkt := netproto.Packet{Op: netproto.OpGet, Seq: 1, Key: key}
+	payload, err := pkt.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame = netproto.MarshalFrame(r.Partition(key), rack.ClientAddr(0), payload)
+	return r, frame, 4 // first client-facing port (after the 4 servers)
+}
+
+// BenchmarkPipelineSequential is the single-goroutine baseline for the raw
+// cache-hit GET path through Switch.Process.
+func BenchmarkPipelineSequential(b *testing.B) {
+	r, frame, inPort := pipelineBenchRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := r.Switch.Process(frame, inPort)
+		if err != nil || len(out) != 1 {
+			b.Fatalf("Process = %v, %v", out, err)
+		}
+	}
+}
+
+// BenchmarkPipelineParallel drives the same cache-hit GET path from many
+// goroutines at once (use -cpu to set the count, e.g. -cpu 8). With the
+// per-stage serialization of this refactor, throughput should scale with
+// cores instead of collapsing onto one pipeline-wide lock.
+func BenchmarkPipelineParallel(b *testing.B) {
+	r, frame, inPort := pipelineBenchRig(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			out, err := r.Switch.Process(frame, inPort)
+			if err != nil || len(out) != 1 {
+				b.Errorf("Process = %v, %v", out, err)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkRackParallelGet is the end-to-end fan-out: concurrent clients
+// issuing cache-hit reads through the full client/simnet/switch path.
+func BenchmarkRackParallelGet(b *testing.B) {
+	const nClients = 8
+	r, err := rack.New(rack.Config{Servers: 4, Clients: nClients, CacheCapacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.LoadDataset(128, 128)
+	key := workload.KeyName(3)
+	if err := r.PrePopulate([]netproto.Key{key}); err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		cli := r.Client(int(next.Add(1)-1) % nClients)
+		for pb.Next() {
+			if _, err := cli.Get(key); err != nil {
+				b.Errorf("get: %v", err)
+				return
+			}
+		}
+	})
 }
 
 // BenchmarkControllerCycle measures one statistics-drain + cache-update +

@@ -153,8 +153,9 @@ func New(cfg Config) (*Controller, error) {
 		entries:   make(map[netproto.Key]*entry),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
-	// The digest callbacks run with the pipeline lock held, so they must
-	// not touch controller state: enqueue or drop.
+	// The digest callbacks run on the pipeline's digest drain goroutine,
+	// concurrent with Tick, so they must not touch controller state
+	// directly: enqueue or drop.
 	cfg.Switch.OnEvents(
 		func(r switchcore.HotReport) {
 			select {

@@ -424,6 +424,7 @@ func TestDigestDelivery(t *testing.T) {
 	var got []byte
 	pl.OnDigest(func(b []byte) { got = append(got, b...) })
 	pl.Process([]byte{9}, 0)
+	pl.SyncDigests()
 	if len(got) != 1 || got[0] != 9 {
 		t.Errorf("digest = %v", got)
 	}

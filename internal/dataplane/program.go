@@ -3,6 +3,8 @@ package dataplane
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // FieldID names a packet-header field or per-packet metadata container (a
@@ -155,9 +157,16 @@ func (p *Program) TableBuild(spec TableSpec) *Table {
 	t := &Table{
 		spec:    spec,
 		actions: make(map[string]ActionFunc),
-		exact:   make(map[exactKey]*Entry),
 		stage:   -1,
 	}
+	st := &tableState{}
+	if spec.Kind == MatchExact {
+		st.exact = make([]map[exactKey]*Entry, exactShards)
+		for i := range st.exact {
+			st.exact[i] = map[exactKey]*Entry{}
+		}
+	}
+	t.state.Store(st)
 	p.tables = append(p.tables, t)
 	p.tableByName[spec.Name] = t
 	return t
@@ -206,21 +215,63 @@ type Entry struct {
 	fn ActionFunc
 }
 
+// exactShards is the copy-on-write granularity of exact-match tables: the
+// key space is hash-split into this many independent maps so a control-plane
+// insert clones 1/exactShards of the table instead of all of it.
+const exactShards = 64
+
+// tableState is the immutable installed-entry snapshot of a table. The data
+// plane reads it through an atomic pointer (RCU-style); control-plane
+// mutators build a new state and swap the pointer, so lookups never block on
+// driver updates and never observe a half-applied change.
+type tableState struct {
+	exact   []map[exactKey]*Entry // exactShards maps; nil for ternary tables
+	ternary []*Entry              // kept sorted by descending priority
+	def     *Entry                // default action, may be nil
+	count   int                   // installed entries
+}
+
+// shardOf hashes an exact key onto a shard.
+func shardOf(k exactKey) int {
+	h := (k[0] ^ k[2]) * 0x9E3779B97F4A7C15
+	h ^= (k[1] ^ k[3]) * 0xC2B2AE3D27D4EB4F
+	return int(h >> 58)
+}
+
+// clone copies the state shallowly, duplicating only the exact shard that is
+// about to change (-1: none) so installed *Entry values stay shared.
+func (st *tableState) clone(dirtyShard int) *tableState {
+	ns := &tableState{def: st.def, count: st.count}
+	if st.exact != nil {
+		ns.exact = append([]map[exactKey]*Entry(nil), st.exact...)
+		if dirtyShard >= 0 {
+			m := make(map[exactKey]*Entry, len(st.exact[dirtyShard])+1)
+			for k, v := range st.exact[dirtyShard] {
+				m[k] = v
+			}
+			ns.exact[dirtyShard] = m
+		}
+	}
+	ns.ternary = st.ternary
+	return ns
+}
+
 // Table is a match-action table. Entry management (AddEntry/DeleteEntry) is
 // the control-plane interface; Lookup/execute is the data-plane interface.
-// The Pipeline serializes data-plane access; control-plane mutation must go
-// through Pipeline.ControlLock (the "switch driver").
+// Lookups are lock-free against an immutable snapshot; mutators serialize on
+// an internal mutex and publish a new snapshot atomically (the switch-driver
+// semantics of an ASIC table update: traffic keeps flowing, every packet
+// sees either the old or the new table, never a mix).
 type Table struct {
 	spec    TableSpec
-	actions map[string]ActionFunc
-	def     *Entry // default action, may be nil
+	actions map[string]ActionFunc // fixed after program build
 
-	exact   map[exactKey]*Entry
-	ternary []*Entry // kept sorted by descending priority
+	state atomic.Pointer[tableState]
+	ctlMu sync.Mutex // serializes mutators (COW writers)
 
 	stage int
 
-	hits, misses uint64
+	hits, misses atomic.Uint64
 }
 
 // Name returns the table name.
@@ -239,18 +290,13 @@ func (t *Table) Size() int { return t.spec.Size }
 func (t *Table) Stage() int { return t.stage }
 
 // Len returns the number of installed entries.
-func (t *Table) Len() int {
-	if t.spec.Kind == MatchExact {
-		return len(t.exact)
-	}
-	return len(t.ternary)
-}
+func (t *Table) Len() int { return t.state.Load().count }
 
 // Hits and Misses report data-plane lookup statistics.
-func (t *Table) Hits() uint64 { return t.hits }
+func (t *Table) Hits() uint64 { return t.hits.Load() }
 
 // Misses reports the number of lookups that fell through to the default.
-func (t *Table) Misses() uint64 { return t.misses }
+func (t *Table) Misses() uint64 { return t.misses.Load() }
 
 // Action registers a named action implementation on the table.
 func (t *Table) Action(name string, fn ActionFunc) *Table {
@@ -267,7 +313,11 @@ func (t *Table) SetDefault(action string, data []uint64) error {
 	if !ok {
 		return fmt.Errorf("dataplane: table %q has no action %q", t.spec.Name, action)
 	}
-	t.def = &Entry{Action: action, Data: data, fn: fn}
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	ns := t.state.Load().clone(-1)
+	ns.def = &Entry{Action: action, Data: data, fn: fn}
+	t.state.Store(ns)
 	return nil
 }
 
@@ -291,12 +341,22 @@ func (t *Table) AddEntry(match []uint64, action string, data []uint64) error {
 		return fmt.Errorf("dataplane: table %q entry carries %d action words, spec allows %d",
 			t.spec.Name, len(data), t.spec.ActionDataWords)
 	}
-	if _, exists := t.exact[k]; !exists && len(t.exact) >= t.spec.Size {
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	st := t.state.Load()
+	sh := shardOf(k)
+	_, exists := st.exact[sh][k]
+	if !exists && st.count >= t.spec.Size {
 		return fmt.Errorf("dataplane: table %q full (%d entries)", t.spec.Name, t.spec.Size)
 	}
 	e := &Entry{Action: action, Data: data, fn: fn}
 	copy(e.Match[:], match)
-	t.exact[k] = e
+	ns := st.clone(sh)
+	ns.exact[sh][k] = e
+	if !exists {
+		ns.count++
+	}
+	t.state.Store(ns)
 	return nil
 }
 
@@ -309,10 +369,17 @@ func (t *Table) DeleteEntry(match []uint64) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if _, ok := t.exact[k]; !ok {
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	st := t.state.Load()
+	sh := shardOf(k)
+	if _, ok := st.exact[sh][k]; !ok {
 		return false, nil
 	}
-	delete(t.exact, k)
+	ns := st.clone(sh)
+	delete(ns.exact[sh], k)
+	ns.count--
+	t.state.Store(ns)
 	return true, nil
 }
 
@@ -328,16 +395,22 @@ func (t *Table) AddTernary(match, mask []uint64, priority int, action string, da
 	if !ok {
 		return fmt.Errorf("dataplane: table %q has no action %q", t.spec.Name, action)
 	}
-	if len(t.ternary) >= t.spec.Size {
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	st := t.state.Load()
+	if len(st.ternary) >= t.spec.Size {
 		return fmt.Errorf("dataplane: table %q full (%d entries)", t.spec.Name, t.spec.Size)
 	}
 	e := &Entry{Priority: priority, Action: action, Data: data, fn: fn}
 	copy(e.Match[:], match)
 	copy(e.Mask[:], mask)
-	t.ternary = append(t.ternary, e)
-	sort.SliceStable(t.ternary, func(i, j int) bool {
-		return t.ternary[i].Priority > t.ternary[j].Priority
+	ns := st.clone(-1)
+	ns.ternary = append(append([]*Entry(nil), st.ternary...), e)
+	sort.SliceStable(ns.ternary, func(i, j int) bool {
+		return ns.ternary[i].Priority > ns.ternary[j].Priority
 	})
+	ns.count = len(ns.ternary)
+	t.state.Store(ns)
 	return nil
 }
 
@@ -365,6 +438,7 @@ func (t *Table) apply(ctx *Ctx) bool {
 		}
 		return false
 	}
+	st := t.state.Load()
 	var e *Entry
 	switch t.spec.Kind {
 	case MatchExact:
@@ -372,9 +446,9 @@ func (t *Table) apply(ctx *Ctx) bool {
 		for i, f := range t.spec.MatchFields {
 			k[i] = ctx.phv[f]
 		}
-		e = t.exact[k]
+		e = st.exact[shardOf(k)][k]
 	case MatchTernary:
-		for _, cand := range t.ternary {
+		for _, cand := range st.ternary {
 			ok := true
 			for i, f := range t.spec.MatchFields {
 				if ctx.phv[f]&cand.Mask[i] != cand.Match[i]&cand.Mask[i] {
@@ -389,20 +463,20 @@ func (t *Table) apply(ctx *Ctx) bool {
 		}
 	}
 	if e == nil {
-		t.misses++
+		t.misses.Add(1)
 		if ctx.trace != nil {
 			ev := TraceEvent{Gress: t.spec.Gress, Stage: t.stage, Table: t.spec.Name}
-			if t.def != nil {
-				ev.Action = t.def.Action
+			if st.def != nil {
+				ev.Action = st.def.Action
 			}
 			*ctx.trace = append(*ctx.trace, ev)
 		}
-		if t.def != nil {
-			t.def.fn(ctx, t.def.Data)
+		if st.def != nil {
+			st.def.fn(ctx, st.def.Data)
 		}
 		return false
 	}
-	t.hits++
+	t.hits.Add(1)
 	if ctx.trace != nil {
 		*ctx.trace = append(*ctx.trace, TraceEvent{
 			Gress: t.spec.Gress, Stage: t.stage, Table: t.spec.Name,

@@ -1,6 +1,10 @@
 package dataplane
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Register is a stateful register array owned by exactly one stage of one
 // gress. The data plane reads and writes it at line rate; the control plane
@@ -10,6 +14,15 @@ import "fmt"
 // slots of NetCache) are stored as byte slices. A register array may be
 // accessed at most once per packet, and at most MaxRegisterAccessBytes per
 // access — the ASIC timing constraints that shape the NetCache design.
+//
+// Every access is individually atomic, standing in for the per-stage ALU of
+// the ASIC: a read-modify-write on one slot can never observe or produce a
+// torn value, no matter how many packets are in flight. Word-backed arrays
+// whose slot width divides 64 (all of NetCache's counter-shaped arrays) use
+// lock-free compare-and-swap on the containing word; odd widths and 128-bit
+// arrays fall back to a per-register mutex. Multi-slot invariants (e.g.
+// "valid bit implies consistent value slots") are the program's to enforce,
+// just as on hardware — see switchcore's per-key locks.
 type Register struct {
 	name     string
 	gress    Gress
@@ -19,6 +32,11 @@ type Register struct {
 	// exactly one of the two backings is non-nil
 	words []uint64 // slotBits <= 64, bit-packed
 	bytes []byte   // slotBits == 128
+
+	// lockfree is true when a slot can never span two words (slotBits
+	// divides 64), enabling single-word CAS access.
+	lockfree bool
+	mu       sync.Mutex // serializes access when !lockfree
 
 	stage int // assigned at compile time, -1 before
 }
@@ -51,6 +69,7 @@ func newRegister(spec RegisterSpec) (*Register, error) {
 	} else {
 		totalBits := spec.Slots * spec.SlotBits
 		r.words = make([]uint64, (totalBits+63)/64)
+		r.lockfree = 64%spec.SlotBits == 0
 	}
 	return r, nil
 }
@@ -71,12 +90,29 @@ func (r *Register) SizeBytes() int { return (r.slots*r.slotBits + 7) / 8 }
 // program has not been compiled.
 func (r *Register) Stage() int { return r.stage }
 
+// loadSlot extracts slot idx from an already-loaded word pair. off+slotBits
+// may exceed 64 only on the mutex path.
+func (r *Register) loadWordIdx(idx int) (word, off int) {
+	bitPos := idx * r.slotBits
+	return bitPos / 64, bitPos % 64
+}
+
 // Get returns the value of slot idx for arrays of width <= 64 bits.
 func (r *Register) Get(idx int) uint64 {
 	r.checkIdx(idx)
 	if r.words == nil {
 		panic(fmt.Sprintf("dataplane: Get on 128-bit register %q; use GetBytes", r.name))
 	}
+	if r.lockfree {
+		word, off := r.loadWordIdx(idx)
+		return atomic.LoadUint64(&r.words[word]) >> off & r.mask()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.getLocked(idx)
+}
+
+func (r *Register) getLocked(idx int) uint64 {
 	bitPos := idx * r.slotBits
 	word, off := bitPos/64, bitPos%64
 	mask := r.mask()
@@ -93,6 +129,24 @@ func (r *Register) Set(idx int, v uint64) {
 	if r.words == nil {
 		panic(fmt.Sprintf("dataplane: Set on 128-bit register %q; use SetBytes", r.name))
 	}
+	if r.lockfree {
+		word, off := r.loadWordIdx(idx)
+		mask := r.mask()
+		v &= mask
+		for {
+			old := atomic.LoadUint64(&r.words[word])
+			new := old&^(mask<<off) | v<<off
+			if atomic.CompareAndSwapUint64(&r.words[word], old, new) {
+				return
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.setLocked(idx, v)
+}
+
+func (r *Register) setLocked(idx int, v uint64) {
 	bitPos := idx * r.slotBits
 	word, off := bitPos/64, bitPos%64
 	mask := r.mask()
@@ -105,18 +159,45 @@ func (r *Register) Set(idx int, v uint64) {
 	}
 }
 
+// update applies fn to slot idx as one atomic read-modify-write — the
+// stage-ALU primitive. fn may be retried and must be pure.
+func (r *Register) update(idx int, fn func(old uint64) uint64) (old, new uint64) {
+	r.checkIdx(idx)
+	if r.words == nil {
+		panic(fmt.Sprintf("dataplane: update on 128-bit register %q", r.name))
+	}
+	mask := r.mask()
+	if r.lockfree {
+		word, off := r.loadWordIdx(idx)
+		for {
+			w := atomic.LoadUint64(&r.words[word])
+			old = w >> off & mask
+			new = fn(old) & mask
+			if atomic.CompareAndSwapUint64(&r.words[word], w, w&^(mask<<off)|new<<off) {
+				return old, new
+			}
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old = r.getLocked(idx)
+	new = fn(old) & mask
+	r.setLocked(idx, new)
+	return old, new
+}
+
 // AddSat adds delta to slot idx with saturation at the slot's maximum —
 // the semantics of the ASIC's counter ALU (a 16-bit counter sticks at 0xFFFF
-// rather than wrapping, §4.4.3).
+// rather than wrapping, §4.4.3). The whole operation is atomic.
 func (r *Register) AddSat(idx int, delta uint64) uint64 {
-	cur := r.Get(idx)
 	maxVal := r.mask()
-	if cur > maxVal-delta {
-		r.Set(idx, maxVal)
-		return maxVal
-	}
-	r.Set(idx, cur+delta)
-	return cur + delta
+	_, new := r.update(idx, func(cur uint64) uint64 {
+		if cur > maxVal-delta {
+			return maxVal
+		}
+		return cur + delta
+	})
+	return new
 }
 
 // GetBytes copies slot idx of a 128-bit array into dst and returns the number
@@ -126,6 +207,8 @@ func (r *Register) GetBytes(idx int, dst []byte) int {
 	if r.bytes == nil {
 		panic(fmt.Sprintf("dataplane: GetBytes on narrow register %q; use Get", r.name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return copy(dst, r.bytes[idx*16:idx*16+16])
 }
 
@@ -139,6 +222,8 @@ func (r *Register) SetBytes(idx int, src []byte) {
 	if len(src) > 16 {
 		panic(fmt.Sprintf("dataplane: SetBytes %d bytes exceeds 16-byte slot of %q", len(src), r.name))
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	slot := r.bytes[idx*16 : idx*16+16]
 	n := copy(slot, src)
 	for i := n; i < 16; i++ {
@@ -147,14 +232,18 @@ func (r *Register) SetBytes(idx int, src []byte) {
 }
 
 // Reset zeroes every slot. The controller uses this to clear statistics
-// arrays periodically (§4.4.3).
+// arrays periodically (§4.4.3). Concurrent data-plane updates may land
+// before or after individual words — the same fuzziness a hardware register
+// sweep has.
 func (r *Register) Reset() {
 	if r.words != nil {
 		for i := range r.words {
-			r.words[i] = 0
+			atomic.StoreUint64(&r.words[i], 0)
 		}
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for i := range r.bytes {
 		r.bytes[i] = 0
 	}

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Ctx is the per-packet execution context: the PHV (parsed header fields and
@@ -34,6 +35,12 @@ type Ctx struct {
 
 	digests [][]byte
 
+	// onComplete hooks run (LIFO, like defers) once the packet has fully
+	// left the pipeline — on every exit path, including drops. The
+	// program uses them to release per-key serialization acquired in an
+	// early stage (see switchcore).
+	onComplete []func()
+
 	// register single-access enforcement
 	stage    int
 	gress    Gress
@@ -62,6 +69,19 @@ func (c *Ctx) Dropped() bool { return c.dropped }
 // mirroring. The packet still traversed — and consumed — its original egress
 // pipe, which the pipe counters reflect.
 func (c *Ctx) Mirror(port int) { c.finalPort = port }
+
+// OnComplete registers fn to run after the packet has fully exited the
+// pipeline (emitted or dropped). Hooks run in reverse registration order on
+// the processing goroutine. Actions use this to hold a cross-stage invariant
+// (e.g. a per-key lock) for exactly the lifetime of one packet.
+func (c *Ctx) OnComplete(fn func()) { c.onComplete = append(c.onComplete, fn) }
+
+func (c *Ctx) runComplete() {
+	for i := len(c.onComplete) - 1; i >= 0; i-- {
+		c.onComplete[i]()
+	}
+	c.onComplete = c.onComplete[:0]
+}
 
 // Digest queues a message for the control plane (a learn digest). NetCache
 // uses it to deliver hot-key reports to the controller (§4.4.3). The payload
@@ -98,20 +118,19 @@ func (c *Ctx) RegSet(r *Register, idx int, v uint64) {
 	r.Set(idx, v)
 }
 
-// RegAdd saturating-adds delta to slot idx and returns the new value.
+// RegAdd saturating-adds delta to slot idx and returns the new value. The
+// read-modify-write is atomic (the stage ALU).
 func (c *Ctx) RegAdd(r *Register, idx int, delta uint64) uint64 {
 	c.checkReg(r)
 	return r.AddSat(idx, delta)
 }
 
 // RegReadModify reads slot idx, applies fn, writes the result back, and
-// returns the pair — the single read-modify-write a stage ALU performs.
+// returns the pair — the single read-modify-write a stage ALU performs. fn
+// must be pure; it may be retried under contention.
 func (c *Ctx) RegReadModify(r *Register, idx int, fn func(old uint64) uint64) (old, new uint64) {
 	c.checkReg(r)
-	old = r.Get(idx)
-	new = fn(old)
-	r.Set(idx, new)
-	return old, new
+	return r.update(idx, fn)
 }
 
 // RegAppendBytes reads the 16-byte slot idx of a 128-bit array and appends
@@ -138,24 +157,42 @@ type Emitted struct {
 	Frame []byte
 }
 
-// Counters aggregates the pipeline's packet accounting.
+// Counters aggregates the pipeline's packet accounting (a snapshot; see
+// Pipeline.Stats).
 type Counters struct {
-	RxPackets    uint64
-	TxPackets    uint64
-	ParseDrops   uint64
-	PipeDrops    uint64
-	Mirrored     uint64
-	Digests      uint64
-	ByEgressPipe []uint64 // packets that consumed each egress pipe
+	RxPackets      uint64
+	TxPackets      uint64
+	ParseDrops     uint64
+	PipeDrops      uint64
+	Mirrored       uint64
+	Digests        uint64
+	DigestsDropped uint64   // digests lost to a full learn-filter queue
+	ByEgressPipe   []uint64 // packets that consumed each egress pipe
 }
 
+// pipeCounters is the live, concurrently-updated form of Counters.
+type pipeCounters struct {
+	rx, tx         atomic.Uint64
+	parseDrops     atomic.Uint64
+	pipeDrops      atomic.Uint64
+	mirrored       atomic.Uint64
+	digests        atomic.Uint64
+	digestsDropped atomic.Uint64
+	byEgressPipe   []atomic.Uint64
+}
+
+// digestQueueCap bounds the learn-digest queue, like the finite learn-filter
+// buffer on the ASIC; overflow drops the digest and counts it.
+const digestQueueCap = 8192
+
 // Pipeline is a compiled program bound to a chip configuration: the
-// executable switch. Process is the data-plane entry point; the *_Control
-// methods are the switch-driver (control-plane) interface. All access is
-// serialized by an internal mutex, standing in for the hardware's atomic
-// per-stage operation.
+// executable switch. Process is the data-plane entry point and is safe for
+// any number of concurrent callers — the unit of serialization is the
+// individual register slot and table snapshot, standing in for the ASIC's
+// per-stage atomic ALUs, not the chip. Control-plane mutators serialize on a
+// separate driver mutex and publish table changes copy-on-write, so driver
+// updates never stall traffic.
 type Pipeline struct {
-	mu   sync.Mutex
 	prog *Program
 	cfg  ChipConfig
 
@@ -164,22 +201,40 @@ type Pipeline struct {
 
 	regID map[*Register]int
 
-	digestFn func(payload []byte)
+	// ctlMu serializes control-plane critical sections (Control) against
+	// each other; the data plane never takes it.
+	ctlMu sync.Mutex
 
-	ctr Counters
+	// Learn digests are forwarded through a bounded queue drained by a
+	// dedicated goroutine, so handlers run outside the packet path and
+	// may freely call back into the pipeline.
+	digestFn  atomic.Pointer[func(payload []byte)]
+	digestCh  chan []byte
+	drainOnce sync.Once
+	closeOnce sync.Once
+
+	// pending counts digests enqueued but not yet handled; SyncDigests
+	// waits on it for deterministic tests and controller ticks.
+	pendMu   sync.Mutex
+	pendCond *sync.Cond
+	pending  int
+
+	ctr pipeCounters
 
 	ctxPool sync.Pool
 }
 
 func newPipeline(p *Program, cfg ChipConfig, in, eg *compiledGress) *Pipeline {
 	pl := &Pipeline{
-		prog:    p,
-		cfg:     cfg,
-		ingress: in,
-		egress:  eg,
-		regID:   make(map[*Register]int, len(p.registers)),
+		prog:     p,
+		cfg:      cfg,
+		ingress:  in,
+		egress:   eg,
+		regID:    make(map[*Register]int, len(p.registers)),
+		digestCh: make(chan []byte, digestQueueCap),
 	}
-	pl.ctr.ByEgressPipe = make([]uint64, cfg.Pipes)
+	pl.pendCond = sync.NewCond(&pl.pendMu)
+	pl.ctr.byEgressPipe = make([]atomic.Uint64, cfg.Pipes)
 	for i, r := range p.registers {
 		pl.regID[r] = i
 	}
@@ -201,55 +256,103 @@ func (pl *Pipeline) Config() ChipConfig { return pl.cfg }
 // Program returns the compiled program.
 func (pl *Pipeline) Program() *Program { return pl.prog }
 
-// OnDigest registers the control-plane digest receiver. It is invoked
-// synchronously during Process while the pipeline lock is held; handlers
-// must not call back into the pipeline and should hand off quickly.
+// OnDigest registers the control-plane digest receiver. The handler runs on
+// a dedicated drain goroutine, outside the packet path, so it may call back
+// into the pipeline (including Process) without restriction. Digests queue
+// through a bounded buffer; when it overflows the digest is dropped and
+// counted in DigestsDropped, like a full learn filter.
 func (pl *Pipeline) OnDigest(fn func(payload []byte)) {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	pl.digestFn = fn
+	if fn == nil {
+		pl.digestFn.Store(nil)
+		return
+	}
+	pl.digestFn.Store(&fn)
+	pl.drainOnce.Do(func() { go pl.drainDigests() })
+}
+
+func (pl *Pipeline) drainDigests() {
+	for d := range pl.digestCh {
+		if fnp := pl.digestFn.Load(); fnp != nil {
+			(*fnp)(d)
+		}
+		pl.pendMu.Lock()
+		pl.pending--
+		if pl.pending == 0 {
+			pl.pendCond.Broadcast()
+		}
+		pl.pendMu.Unlock()
+	}
+}
+
+// SyncDigests blocks until every digest emitted by already-completed Process
+// calls has been delivered to the OnDigest handler. Controllers call it
+// before a Tick so hot-key reports from prior traffic are visible — the
+// simulator's stand-in for the (bounded) report latency of the real switch.
+func (pl *Pipeline) SyncDigests() {
+	pl.pendMu.Lock()
+	for pl.pending > 0 {
+		pl.pendCond.Wait()
+	}
+	pl.pendMu.Unlock()
+}
+
+// Close shuts down the digest drain goroutine. Call only after traffic has
+// quiesced; Process calls racing a Close may panic on the closed queue.
+func (pl *Pipeline) Close() {
+	pl.closeOnce.Do(func() {
+		pl.drainOnce.Do(func() {}) // prevent a future drain start
+		close(pl.digestCh)
+	})
 }
 
 // Process runs one packet through the switch: parser, ingress pipe of the
 // arrival port, traffic manager, egress pipe of the chosen port, deparser.
-// It returns the emitted packets (zero if dropped, one normally).
+// It returns the emitted packets (zero if dropped, one normally). It is safe
+// to call from any number of goroutines concurrently.
 func (pl *Pipeline) Process(raw []byte, inPort int) ([]Emitted, error) {
+	return pl.process(raw, inPort, nil)
+}
+
+func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, error) {
 	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
 		return nil, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
 	}
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
 
-	pl.ctr.RxPackets++
+	pl.ctr.rx.Add(1)
 
 	ctx := pl.ctxPool.Get().(*Ctx)
 	defer pl.ctxPool.Put(ctx)
 	ctx.reset(inPort, raw)
+	ctx.trace = trace
+	defer func() {
+		ctx.trace = nil
+		ctx.runComplete()
+	}()
 
 	if err := pl.prog.parser(raw, ctx); err != nil {
-		pl.ctr.ParseDrops++
+		pl.ctr.parseDrops.Add(1)
 		return nil, nil // parser exceptions drop silently, like hardware
 	}
 
 	ctx.gress = Ingress
 	pl.run(pl.ingress, ctx)
 	if ctx.dropped {
-		pl.ctr.PipeDrops++
+		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
 		return nil, nil
 	}
 
 	if ctx.EgressPort < 0 || ctx.EgressPort >= pl.cfg.NumPorts() {
-		pl.ctr.PipeDrops++
+		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
 		return nil, nil
 	}
-	pl.ctr.ByEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)]++
+	pl.ctr.byEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)].Add(1)
 
 	ctx.gress = Egress
 	pl.run(pl.egress, ctx)
 	if ctx.dropped {
-		pl.ctr.PipeDrops++
+		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
 		return nil, nil
 	}
@@ -258,9 +361,9 @@ func (pl *Pipeline) Process(raw []byte, inPort int) ([]Emitted, error) {
 	port := ctx.EgressPort
 	if ctx.finalPort >= 0 {
 		port = ctx.finalPort
-		pl.ctr.Mirrored++
+		pl.ctr.mirrored.Add(1)
 	}
-	pl.ctr.TxPackets++
+	pl.ctr.tx.Add(1)
 	pl.flushDigests(ctx)
 	return []Emitted{{Port: port, Frame: out}}, nil
 }
@@ -281,10 +384,25 @@ func (pl *Pipeline) flushDigests(ctx *Ctx) {
 	if len(ctx.digests) == 0 {
 		return
 	}
-	pl.ctr.Digests += uint64(len(ctx.digests))
-	if pl.digestFn != nil {
-		for _, d := range ctx.digests {
-			pl.digestFn(d)
+	pl.ctr.digests.Add(uint64(len(ctx.digests)))
+	if pl.digestFn.Load() == nil {
+		ctx.digests = ctx.digests[:0]
+		return
+	}
+	for _, d := range ctx.digests {
+		pl.pendMu.Lock()
+		pl.pending++
+		pl.pendMu.Unlock()
+		select {
+		case pl.digestCh <- d:
+		default:
+			pl.ctr.digestsDropped.Add(1)
+			pl.pendMu.Lock()
+			pl.pending--
+			if pl.pending == 0 {
+				pl.pendCond.Broadcast()
+			}
+			pl.pendMu.Unlock()
 		}
 	}
 	ctx.digests = ctx.digests[:0]
@@ -301,6 +419,7 @@ func (c *Ctx) reset(inPort int, raw []byte) {
 	c.ValueBuf = c.ValueBuf[:0]
 	c.Raw = raw
 	c.digests = c.digests[:0]
+	c.onComplete = c.onComplete[:0]
 	c.epoch++
 	if c.epoch == 0 { // wrapped: clear stale marks
 		for i := range c.accessed {
@@ -310,19 +429,36 @@ func (c *Ctx) reset(inPort int, raw []byte) {
 	}
 }
 
-// Control runs fn while holding the pipeline lock — the switch-driver
-// critical section the controller uses for table and register updates.
+// Control runs fn inside the switch-driver critical section: control-plane
+// operations are serialized against each other, so a multi-step update (e.g.
+// write value slots, then flip the valid bit, then install the lookup entry)
+// is not interleaved with another driver operation. It does NOT pause the
+// data plane — packets keep flowing and observe each individual step
+// atomically, exactly as on the ASIC; programs needing a stronger cross-step
+// invariant against in-flight packets layer their own per-key serialization
+// (see switchcore).
 func (pl *Pipeline) Control(fn func()) {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
+	pl.ctlMu.Lock()
+	defer pl.ctlMu.Unlock()
 	fn()
 }
 
-// Stats returns a snapshot of the pipeline counters.
+// Stats returns a snapshot of the pipeline counters. Individual counters are
+// read atomically; the snapshot as a whole is not a consistent cut across
+// counters under concurrent traffic.
 func (pl *Pipeline) Stats() Counters {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	c := pl.ctr
-	c.ByEgressPipe = append([]uint64(nil), pl.ctr.ByEgressPipe...)
+	c := Counters{
+		RxPackets:      pl.ctr.rx.Load(),
+		TxPackets:      pl.ctr.tx.Load(),
+		ParseDrops:     pl.ctr.parseDrops.Load(),
+		PipeDrops:      pl.ctr.pipeDrops.Load(),
+		Mirrored:       pl.ctr.mirrored.Load(),
+		Digests:        pl.ctr.digests.Load(),
+		DigestsDropped: pl.ctr.digestsDropped.Load(),
+		ByEgressPipe:   make([]uint64, len(pl.ctr.byEgressPipe)),
+	}
+	for i := range pl.ctr.byEgressPipe {
+		c.ByEgressPipe[i] = pl.ctr.byEgressPipe[i].Load()
+	}
 	return c
 }

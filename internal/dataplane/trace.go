@@ -45,48 +45,10 @@ func (tr Trace) String() string {
 
 // ProcessTraced is Process with per-table tracing: it returns the emitted
 // packets plus the execution history. Slower than Process; intended for
-// debugging and tests, not the data path.
+// debugging and tests, not the data path. Like Process, it is safe for
+// concurrent callers (the trace covers only its own packet).
 func (pl *Pipeline) ProcessTraced(raw []byte, inPort int) ([]Emitted, Trace, error) {
-	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
-		return nil, nil, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
-	}
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-
-	pl.ctr.RxPackets++
-	ctx := pl.ctxPool.Get().(*Ctx)
-	defer pl.ctxPool.Put(ctx)
-	ctx.reset(inPort, raw)
 	var trace Trace
-	ctx.trace = &trace
-	defer func() { ctx.trace = nil }()
-
-	if err := pl.prog.parser(raw, ctx); err != nil {
-		pl.ctr.ParseDrops++
-		return nil, trace, nil
-	}
-	ctx.gress = Ingress
-	pl.run(pl.ingress, ctx)
-	if !ctx.dropped && ctx.EgressPort >= 0 && ctx.EgressPort < pl.cfg.NumPorts() {
-		pl.ctr.ByEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)]++
-		ctx.gress = Egress
-		pl.run(pl.egress, ctx)
-	} else {
-		ctx.dropped = true
-	}
-	if ctx.dropped {
-		pl.ctr.PipeDrops++
-		pl.flushDigests(ctx)
-		return nil, trace, nil
-	}
-
-	out := pl.prog.deparser(ctx, make([]byte, 0, len(raw)+len(ctx.ValueBuf)+16))
-	port := ctx.EgressPort
-	if ctx.finalPort >= 0 {
-		port = ctx.finalPort
-		pl.ctr.Mirrored++
-	}
-	pl.ctr.TxPackets++
-	pl.flushDigests(ctx)
-	return []Emitted{{Port: port, Frame: out}}, trace, nil
+	out, err := pl.process(raw, inPort, &trace)
+	return out, trace, err
 }

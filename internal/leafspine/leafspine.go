@@ -293,7 +293,9 @@ func (f *Fabric) LoadDataset(n, valueSize int) {
 // heads), then the spine (global head).
 func (f *Fabric) Tick() {
 	for _, unit := range f.racks {
+		unit.tor.SyncDigests()
 		unit.ctl.Tick()
 	}
+	f.spine.SyncDigests()
 	f.spineCtl.Tick()
 }

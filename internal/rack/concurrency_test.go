@@ -1,0 +1,124 @@
+package rack
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"netcache/internal/client"
+	"netcache/internal/netproto"
+	"netcache/internal/workload"
+)
+
+// The end-to-end concurrency stress: 8 client goroutines mix Get/Put/Delete
+// against hot and cold keys while the controller ticks (caching hot keys,
+// evicting cold ones) on its own goroutine. Each goroutine owns one hot key
+// for writes and reads everyone's; coherence demands that a Get issued after
+// a blocking Put completes never returns the overwritten value, no matter
+// where the read is served from (switch cache or store). Zero frames may go
+// missing. Run with -race.
+func TestStressParallelClients(t *testing.T) {
+	const goroutines = 8
+	r, err := New(Config{Servers: 4, Clients: goroutines, CacheCapacity: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LoadDataset(64, 32)
+	hot := make([]netproto.Key, goroutines)
+	for g := range hot {
+		hot[g] = workload.KeyName(g)
+	}
+	// Half the hot set starts cached; the controller may pick up the rest.
+	if err := r.PrePopulate(hot[:goroutines/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				r.Tick()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	iters := 120
+	if testing.Short() {
+		iters = 30
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		cli := r.Client(g)
+		own := hot[g]                     // written only by this goroutine
+		cold := workload.KeyName(200 + g) // churned: Put then Delete
+		wg.Add(1)
+		go func(g int, cli *client.Client) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("goroutine %d: "+format, append([]any{g}, args...)...)
+			}
+			for i := 0; i < iters; i++ {
+				want := fmt.Sprintf("g%d-i%d", g, i)
+				if err := cli.Put(own, []byte(want)); err != nil {
+					fail("put own: %w", err)
+					return
+				}
+				// The Put completed: this read must not be stale,
+				// whether the switch or the store serves it.
+				v, err := cli.Get(own)
+				if err != nil {
+					fail("get own: %w", err)
+					return
+				}
+				if string(v) != want {
+					fail("stale read after Put: got %q, want %q", v, want)
+					return
+				}
+				// Cross-traffic on everyone's hot keys.
+				for _, k := range hot {
+					if _, err := cli.Get(k); err != nil && err != client.ErrNotFound {
+						fail("get hot: %w", err)
+						return
+					}
+				}
+				// Cold-key churn with delete coherence.
+				if err := cli.Put(cold, []byte(want)); err != nil {
+					fail("put cold: %w", err)
+					return
+				}
+				if i%10 == 9 {
+					if err := cli.Delete(cold); err != nil {
+						fail("delete cold: %w", err)
+						return
+					}
+					if _, err := cli.Get(cold); err != client.ErrNotFound {
+						fail("read after delete: %v", err)
+						return
+					}
+				}
+			}
+		}(g, cli)
+	}
+	wg.Wait()
+	close(stop)
+	<-tickDone
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if n := r.Net.Unattached.Value(); n != 0 {
+		t.Errorf("lost frames: %d emissions to unattached ports", n)
+	}
+	if n := r.Net.LossDropped.Value(); n != 0 {
+		t.Errorf("loss-dropped frames without loss configured: %d", n)
+	}
+}

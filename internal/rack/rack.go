@@ -191,5 +191,10 @@ func (r *Rack) PrePopulate(keys []netproto.Key) error {
 	return nil
 }
 
-// Tick runs one controller cycle (cache update + statistics reset).
-func (r *Rack) Tick() { r.Controller.Tick() }
+// Tick runs one controller cycle (cache update + statistics reset). It first
+// waits for in-flight hot-key digests from completed queries to reach the
+// controller, so a tick sees all the traffic that preceded it.
+func (r *Rack) Tick() {
+	r.Switch.SyncDigests()
+	r.Controller.Tick()
+}

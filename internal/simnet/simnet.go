@@ -1,20 +1,27 @@
 // Package simnet is the in-process network fabric connecting clients and
 // storage servers to the NetCache switch: the stand-in for the testbed's
 // NICs and cables (SOSP'17 §7.1). Frames injected at a port traverse the
-// switch data plane; emissions are delivered synchronously to the endpoint
-// attached to the output port, or re-injected through a loopback cable —
-// the wiring used by the industry-standard snake test the paper benchmarks
-// with.
+// switch data plane; emissions are delivered to the endpoint attached to the
+// output port, or re-injected through a loopback cable — the wiring used by
+// the industry-standard snake test the paper benchmarks with.
 //
-// Delivery is synchronous and reentrant: an endpoint's handler may inject
-// further frames (a storage server answering a query does exactly that).
-// Per-port loss injection exercises the reliable cache-update retry path.
+// Inject is safe for any number of concurrent goroutines — the fabric is as
+// parallel as the switch underneath it. Delivery to any one endpoint is
+// serialized and in order: each attached port owns a small actor-style queue
+// whose current drainer runs the handler, so an endpoint never sees two
+// frames at once, and a reentrant handler (a storage server answering a
+// query injects its reply, which may loop straight back to its own port)
+// enqueues rather than recursing — same-goroutine reentrancy that would
+// deadlock a plain per-port mutex. Per-port loss injection exercises the
+// reliable cache-update retry path; its PRNG is a lock-free splitmix64
+// stream over an atomic counter, so concurrent packets never contend on it,
+// while single-goroutine tests stay deterministic.
 package simnet
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"netcache/internal/dataplane"
 	"netcache/internal/stats"
@@ -28,17 +35,27 @@ type Switch interface {
 // Handler consumes frames delivered to an endpoint's port.
 type Handler func(frame []byte)
 
-// Net wires endpoints and cables to a switch. Attach all endpoints before
-// traffic starts; Attach/Cable/SetLoss are not safe to call concurrently
-// with Inject.
-type Net struct {
-	sw       Switch
-	handlers map[int]Handler
-	cables   map[int]int
+// portQueue serializes delivery to one endpoint. Whichever goroutine finds
+// the queue idle becomes the drainer and runs the handler for every queued
+// frame (including frames other goroutines append meanwhile); the rest
+// enqueue and leave.
+type portQueue struct {
+	h     Handler
+	mu    sync.Mutex
+	queue [][]byte
+	busy  bool
+}
 
-	lossMu sync.Mutex
-	loss   map[int]float64
-	rng    *rand.Rand
+// Net wires endpoints and cables to a switch. Attach all endpoints before
+// traffic starts; Attach/Cable are not safe to call concurrently with
+// Inject. Inject and SetLoss are safe from any goroutine.
+type Net struct {
+	sw      Switch
+	queues  map[int]*portQueue
+	cables  map[int]int
+	lossMu  sync.RWMutex
+	loss    map[int]float64
+	lossCtr atomic.Uint64 // splitmix64 counter stream for loss draws
 
 	// Delivered counts frames handed to endpoints; Unattached counts
 	// emissions to ports with no endpoint or cable; LossDropped counts
@@ -50,24 +67,25 @@ type Net struct {
 
 // New returns a fabric around sw.
 func New(sw Switch) *Net {
-	return &Net{
-		sw:       sw,
-		handlers: make(map[int]Handler),
-		cables:   make(map[int]int),
-		loss:     make(map[int]float64),
-		rng:      rand.New(rand.NewSource(1)),
+	n := &Net{
+		sw:     sw,
+		queues: make(map[int]*portQueue),
+		cables: make(map[int]int),
+		loss:   make(map[int]float64),
 	}
+	n.lossCtr.Store(1) // fixed seed: reproducible loss patterns
+	return n
 }
 
 // Attach connects an endpoint to a switch port.
 func (n *Net) Attach(port int, h Handler) {
-	if _, dup := n.handlers[port]; dup {
+	if _, dup := n.queues[port]; dup {
 		panic(fmt.Sprintf("simnet: port %d already attached", port))
 	}
 	if _, dup := n.cables[port]; dup {
 		panic(fmt.Sprintf("simnet: port %d already cabled", port))
 	}
-	n.handlers[port] = h
+	n.queues[port] = &portQueue{h: h}
 }
 
 // Cable connects two switch ports with a loopback cable: frames emitted on
@@ -75,7 +93,7 @@ func (n *Net) Attach(port int, h Handler) {
 // wiring ("port 2i-1 is connected to port 2i", §7.1).
 func (n *Net) Cable(a, b int) {
 	for _, p := range []int{a, b} {
-		if _, dup := n.handlers[p]; dup {
+		if _, dup := n.queues[p]; dup {
 			panic(fmt.Sprintf("simnet: port %d already attached", p))
 		}
 		if _, dup := n.cables[p]; dup {
@@ -87,7 +105,7 @@ func (n *Net) Cable(a, b int) {
 }
 
 // SetLoss configures the probability of discarding a frame emitted toward
-// the given port. Safe to call between Injects.
+// the given port. Safe to call at any time, including during traffic.
 func (n *Net) SetLoss(port int, p float64) {
 	n.lossMu.Lock()
 	defer n.lossMu.Unlock()
@@ -102,17 +120,28 @@ func (n *Net) SetLoss(port int, p float64) {
 }
 
 func (n *Net) dropByLoss(port int) bool {
-	n.lossMu.Lock()
-	defer n.lossMu.Unlock()
+	n.lossMu.RLock()
 	p, ok := n.loss[port]
+	n.lossMu.RUnlock()
 	if !ok {
 		return false
 	}
-	return n.rng.Float64() < p
+	// splitmix64 over an atomically advanced counter: one fetch-and-add,
+	// no shared RNG state to lock.
+	x := n.lossCtr.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11)/float64(1<<53) < p
 }
 
 // Inject pushes a frame into the switch at the given port and delivers all
-// resulting emissions. It returns the first switch error encountered.
+// resulting emissions. It returns the first switch error encountered. Safe
+// for concurrent callers; when a destination endpoint is already being
+// drained by another goroutine, the frame is queued there and Inject returns
+// without waiting for the handler to run.
 func (n *Net) Inject(frame []byte, port int) error {
 	out, err := n.sw.Process(frame, port)
 	if err != nil {
@@ -123,9 +152,9 @@ func (n *Net) Inject(frame []byte, port int) error {
 			n.LossDropped.Inc()
 			continue
 		}
-		if h, ok := n.handlers[em.Port]; ok {
+		if pq, ok := n.queues[em.Port]; ok {
 			n.Delivered.Inc()
-			h(em.Frame)
+			pq.deliver(em.Frame)
 			continue
 		}
 		if peer, ok := n.cables[em.Port]; ok {
@@ -137,4 +166,28 @@ func (n *Net) Inject(frame []byte, port int) error {
 		n.Unattached.Inc()
 	}
 	return nil
+}
+
+// deliver enqueues frame and, if no other goroutine is draining this port,
+// drains the queue in order. A handler that re-enters Inject and loops a
+// frame back to its own port finds busy set and enqueues; the outer drain
+// loop picks it up after the handler returns — ordered, and without the
+// recursion a synchronous fabric would do.
+func (pq *portQueue) deliver(frame []byte) {
+	pq.mu.Lock()
+	pq.queue = append(pq.queue, frame)
+	if pq.busy {
+		pq.mu.Unlock()
+		return
+	}
+	pq.busy = true
+	for len(pq.queue) > 0 {
+		f := pq.queue[0]
+		pq.queue = pq.queue[1:]
+		pq.mu.Unlock()
+		pq.h(f)
+		pq.mu.Lock()
+	}
+	pq.busy = false
+	pq.mu.Unlock()
 }

@@ -10,7 +10,11 @@
 // benchmarks, and serve as the reference implementation for property tests.
 package sketch
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math"
+	"sync/atomic"
+)
 
 // Hash64 mixes key bytes with a seed into a 64-bit value. Rows of the
 // Count-Min sketch and probes of the Bloom filter use distinct seeds, which
@@ -209,12 +213,16 @@ func (b *Bloom) Reset() {
 // infrequent keys rarely reach the Count-Min sketch and 16-bit counters
 // suffice (§4.4.3). The controller tunes the rate at runtime.
 //
-// The implementation is a xorshift64* PRNG compared against a 32-bit
-// threshold — the same constant-time decision a hardware RNG makes.
+// The implementation is a splitmix64 output function over an atomically
+// advanced counter, compared against a 32-bit threshold — the same
+// constant-time decision a hardware RNG makes, with no lock and no shared
+// cache line mutated beyond one fetch-and-add, so concurrent packets never
+// contend. Called from a single goroutine the sequence is a pure function of
+// the seed and the call count, keeping deterministic tests deterministic.
 type Sampler struct {
-	state     uint64
-	threshold uint32
-	rate      float64
+	ctr  atomic.Uint64 // splitmix64 counter stream, advanced per call
+	thr  atomic.Uint64 // admit when the 32-bit draw < thr; in [0, 1<<32]
+	rate atomic.Uint64 // Float64bits of the configured rate
 }
 
 // NewSampler returns a sampler admitting queries with the given probability
@@ -224,12 +232,13 @@ func NewSampler(rate float64, seed uint64) *Sampler {
 	if seed == 0 {
 		seed = 0x853C49E6748FEA9B
 	}
-	s.state = seed
+	s.ctr.Store(seed)
 	s.SetRate(rate)
 	return s
 }
 
-// SetRate updates the sampling probability (clamped to [0,1]).
+// SetRate updates the sampling probability (clamped to [0,1]). Safe to call
+// while Sample runs concurrently.
 func (s *Sampler) SetRate(rate float64) {
 	if rate < 0 {
 		rate = 0
@@ -237,18 +246,20 @@ func (s *Sampler) SetRate(rate float64) {
 	if rate > 1 {
 		rate = 1
 	}
-	s.rate = rate
-	s.threshold = uint32(rate * float64(1<<32-1))
+	s.rate.Store(math.Float64bits(rate))
+	s.thr.Store(uint64(rate * float64(uint64(1)<<32)))
 }
 
 // Rate returns the configured sampling probability.
-func (s *Sampler) Rate() float64 { return s.rate }
+func (s *Sampler) Rate() float64 { return math.Float64frombits(s.rate.Load()) }
 
 // Sample reports whether this query is admitted to the statistics engine.
 func (s *Sampler) Sample() bool {
-	s.state ^= s.state >> 12
-	s.state ^= s.state << 25
-	s.state ^= s.state >> 27
-	r := uint32((s.state * 2685821657736338717) >> 32)
-	return r <= s.threshold
+	x := s.ctr.Add(0x9E3779B97F4A7C15) // golden-ratio increment (splitmix64)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x>>32 < s.thr.Load()
 }

@@ -1,0 +1,176 @@
+package switchcore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"netcache/internal/netproto"
+)
+
+// decodeErr is decode without t.Fatal, usable from worker goroutines.
+func decodeErr(frame []byte) (netproto.Frame, netproto.Packet, error) {
+	fr, err := netproto.DecodeFrame(frame)
+	if err != nil {
+		return fr, netproto.Packet{}, err
+	}
+	var pkt netproto.Packet
+	if err := netproto.Decode(fr.Payload, &pkt); err != nil {
+		return fr, pkt, err
+	}
+	return fr, pkt, nil
+}
+
+// uniform reports whether v is len(n) bytes all equal to b.
+func uniform(v []byte, b byte, n int) bool {
+	if len(v) != n {
+		return false
+	}
+	for _, c := range v {
+		if c != b {
+			return false
+		}
+	}
+	return true
+}
+
+// The §4.3 per-key atomicity requirement, adversarially: readers hammer a
+// cached key whose 48-byte value (3 register arrays) is rewritten in flight
+// by data-plane cache updates, while the driver concurrently installs and
+// evicts a second key. Every cache-hit reply must be entirely the old or
+// entirely the new value — a single mixed byte is a torn read. Run with
+// -race to also catch unsynchronized access.
+func TestNoTornValueReads(t *testing.T) {
+	r := newRig(t)
+	key := netproto.KeyFromString("torn-key")
+	const vlen = 48
+	valA := bytes.Repeat([]byte{0xAA}, vlen)
+	valB := bytes.Repeat([]byte{0xBB}, vlen)
+	r.install(t, key, valA)
+
+	getF := mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Key: key})
+	updA := mkFrame(t, serverAddr, serverAddr,
+		netproto.Packet{Op: netproto.OpCacheUpdate, Seq: 1, Key: key, Value: valA})
+	updB := mkFrame(t, serverAddr, serverAddr,
+		netproto.Packet{Op: netproto.OpCacheUpdate, Seq: 2, Key: key, Value: valB})
+
+	churnKey := netproto.KeyFromString("churn-key")
+	churnVal := bytes.Repeat([]byte{0xCC}, 32)
+	churnGet := mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Key: churnKey})
+	churnPlace, err := r.alloc.Insert(churnKey, len(churnVal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnIdx := r.kidx.Alloc()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+
+	// Data-plane updater: flips the cached value A↔B through OpCacheUpdate.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f := updA
+			if i&1 == 1 {
+				f = updB
+			}
+			if _, err := r.sw.Process(f, serverPort); err != nil {
+				t.Errorf("updater: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Driver churn: insert/evict a second key through the control plane
+	// while traffic flows.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := r.sw.InstallCacheEntry(CacheEntry{
+				Key: churnKey, Placement: churnPlace, KeyIndex: churnIdx,
+				ServerPort: serverPort, Value: churnVal,
+			})
+			if err != nil {
+				t.Errorf("install: %v", err)
+				return
+			}
+			if _, err := r.sw.RemoveCacheEntry(churnKey, churnIdx); err != nil {
+				t.Errorf("remove: %v", err)
+				return
+			}
+		}
+	}()
+
+	check := func(frame []byte, iters int, ok func(pkt netproto.Packet) error) {
+		for i := 0; i < iters; i++ {
+			out, err := r.sw.Process(frame, clientPort)
+			if err != nil {
+				t.Errorf("reader: %v", err)
+				return
+			}
+			if len(out) != 1 {
+				t.Errorf("reader: %d emissions", len(out))
+				return
+			}
+			_, pkt, err := decodeErr(out[0].Frame)
+			if err != nil {
+				t.Errorf("reader decode: %v", err)
+				return
+			}
+			if pkt.Op == netproto.OpGet {
+				continue // invalid/missing at that instant: forwarded to the server
+			}
+			if err := ok(pkt); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			check(getF, 2000, func(pkt netproto.Packet) error {
+				if pkt.Op != netproto.OpGetReply {
+					return fmt.Errorf("reader: op %v", pkt.Op)
+				}
+				if !uniform(pkt.Value, 0xAA, vlen) && !uniform(pkt.Value, 0xBB, vlen) {
+					return fmt.Errorf("TORN VALUE read: % x", pkt.Value)
+				}
+				return nil
+			})
+		}()
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		check(churnGet, 2000, func(pkt netproto.Packet) error {
+			if pkt.Op != netproto.OpGetReply {
+				return fmt.Errorf("churn reader: op %v", pkt.Op)
+			}
+			if !uniform(pkt.Value, 0xCC, len(churnVal)) {
+				return fmt.Errorf("churn key torn read: % x", pkt.Value)
+			}
+			return nil
+		})
+	}()
+
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

@@ -10,9 +10,12 @@ import (
 )
 
 // This file is the switch-driver surface: the runtime operations the
-// NetCache controller performs through the switch OS (§4.3, Fig. 4). All
-// operations serialize against the data plane via the pipeline's control
-// lock, modeling the atomic driver updates of the real ASIC.
+// NetCache controller performs through the switch OS (§4.3, Fig. 4). Driver
+// operations serialize against each other via the pipeline's control mutex
+// and against in-flight packets via the per-key stripe locks — traffic keeps
+// flowing during a driver update, and a multi-register install/evict/move is
+// still observed atomically per key, modeling the ASIC's atomic driver
+// updates without pausing the chip.
 
 // InstallRoute maps a rack address to a front-panel port in the L3-style
 // routing table.
@@ -55,6 +58,9 @@ func (sw *Switch) InstallCacheEntry(e CacheEntry) error {
 	}
 	var err error
 	sw.pl.Control(func() {
+		mu := sw.keyLock(e.KeyIndex)
+		mu.Lock()
+		defer mu.Unlock()
 		sw.writeValueLocked(e.Placement, e.Value)
 		sw.vlen.Set(e.KeyIndex, uint64(len(e.Value)))
 		sw.ctr.Set(e.KeyIndex, 0)
@@ -72,6 +78,11 @@ func (sw *Switch) RemoveCacheEntry(key netproto.Key, keyIndex int) (bool, error)
 	var ok bool
 	var err error
 	sw.pl.Control(func() {
+		if keyIndex >= 0 && keyIndex < sw.cfg.CacheSize {
+			mu := sw.keyLock(keyIndex)
+			mu.Lock()
+			defer mu.Unlock()
+		}
 		ok, err = sw.lookup.DeleteEntry(keyFields(key))
 		if ok && keyIndex >= 0 && keyIndex < sw.cfg.CacheSize {
 			sw.valid.Set(keyIndex, 0)
@@ -86,6 +97,9 @@ func (sw *Switch) RemoveCacheEntry(key netproto.Key, keyIndex int) (bool, error)
 func (sw *Switch) MoveCacheEntry(key netproto.Key, keyIndex, serverPort int, mv cachemem.Move) error {
 	var err error
 	sw.pl.Control(func() {
+		mu := sw.keyLock(keyIndex)
+		mu.Lock()
+		defer mu.Unlock()
 		n := int(sw.vlen.Get(keyIndex))
 		value := sw.readValueLocked(mv.From, n)
 		sw.writeValueLocked(mv.To, value)
@@ -96,7 +110,7 @@ func (sw *Switch) MoveCacheEntry(key netproto.Key, keyIndex, serverPort int, mv 
 }
 
 // writeValueLocked scatters value bytes into the placement's slots in
-// ascending array order. Caller holds the control lock.
+// ascending array order. Caller holds the key's stripe write lock.
 func (sw *Switch) writeValueLocked(p cachemem.Placement, value []byte) {
 	off := 0
 	for a := 0; a < sw.cfg.ValueArrays && off < len(value); a++ {
@@ -113,7 +127,7 @@ func (sw *Switch) writeValueLocked(p cachemem.Placement, value []byte) {
 }
 
 // readValueLocked gathers n value bytes from the placement's slots. Caller
-// holds the control lock.
+// holds the key's stripe lock (read or write).
 func (sw *Switch) readValueLocked(p cachemem.Placement, n int) []byte {
 	out := make([]byte, 0, n)
 	var tmp [16]byte
@@ -135,11 +149,10 @@ func (sw *Switch) readValueLocked(p cachemem.Placement, n int) []byte {
 // read, e.g. for verification in tests and the controller's consistency
 // checks).
 func (sw *Switch) ReadValue(p cachemem.Placement, keyIndex int) []byte {
-	var out []byte
-	sw.pl.Control(func() {
-		out = sw.readValueLocked(p, int(sw.vlen.Get(keyIndex)))
-	})
-	return out
+	mu := sw.keyLock(keyIndex)
+	mu.RLock()
+	defer mu.RUnlock()
+	return sw.readValueLocked(p, int(sw.vlen.Get(keyIndex)))
 }
 
 // CounterSnapshot holds one cached key's sampled hit count.
@@ -212,20 +225,21 @@ func (sw *Switch) SetSampleRate(rate float64) {
 
 // SetHotThreshold reconfigures the heavy-hitter report threshold.
 func (sw *Switch) SetHotThreshold(th uint64) {
-	sw.pl.Control(func() { sw.hotThreshold = th })
+	sw.hotThreshold.Store(th)
 }
 
 // OnHotReport registers the controller's heavy-hitter report receiver,
-// discarding other digest kinds. The callback runs on the data-plane
-// goroutine; hand off promptly.
+// discarding other digest kinds. The callback runs on the digest drain
+// goroutine, off the packet path.
 func (sw *Switch) OnHotReport(fn func(HotReport)) {
 	sw.OnEvents(fn, nil)
 }
 
 // OnEvents registers receivers for both digest kinds the data plane emits:
 // heavy-hitter reports and refused-update overflow reports. Either callback
-// may be nil. The callbacks run on the data-plane goroutine with the
-// pipeline lock held; they must not call back into the switch.
+// may be nil. The callbacks run on the pipeline's digest drain goroutine,
+// outside the packet path, and may freely call back into the switch
+// (including Process and the driver operations).
 func (sw *Switch) OnEvents(onHot func(HotReport), onOverflow func(OverflowReport)) {
 	sw.pl.OnDigest(func(payload []byte) {
 		if len(payload) != 25 {
@@ -258,7 +272,7 @@ type LoadSignals struct {
 // ReadLoadSignals returns cumulative hit and invalidation counts.
 func (sw *Switch) ReadLoadSignals() LoadSignals {
 	var s LoadSignals
-	sw.pl.Control(func() { s.Invalidations = sw.invalidations })
+	s.Invalidations = sw.invalidations.Load()
 	s.Hits = sw.pl.Stats().Mirrored
 	return s
 }

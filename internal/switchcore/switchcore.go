@@ -23,6 +23,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"netcache/internal/cachemem"
 	"netcache/internal/dataplane"
@@ -143,12 +145,32 @@ type Switch struct {
 	values []*dataplane.Register
 
 	sampler      *sketch.Sampler
-	hotThreshold uint64
+	hotThreshold atomic.Uint64
 
 	// invalidations counts write-triggered invalidations of cached keys;
-	// mutated under the pipeline lock, read through the driver. The
-	// controller's write policy compares it against served hits.
-	invalidations uint64
+	// read through the driver. The controller's write policy compares it
+	// against served hits.
+	invalidations atomic.Uint64
+
+	// keyMu stripes a readers-writer lock across cache key indexes. It is
+	// the per-key serialization of §4.3 made explicit: a cached GET holds
+	// the key's read lock for its whole traversal, while writes, cache
+	// updates, and driver install/evict/move hold the write lock — so the
+	// multi-register invariant (valid bit ⇒ consistent vlen and value
+	// slots) holds even though each register access is only individually
+	// atomic, and a reader can never observe a torn value. Packets
+	// acquire at most one stripe (in the cache_lookup hit action) and
+	// release it when they exit the pipeline; the driver acquires the
+	// control mutex before any stripe, never the reverse.
+	keyMu [keyStripes]sync.RWMutex
+}
+
+// keyStripes is the size of the per-key lock stripe array (power of two).
+const keyStripes = 256
+
+// keyLock returns the stripe guarding cache index kidx.
+func (sw *Switch) keyLock(kidx int) *sync.RWMutex {
+	return &sw.keyMu[kidx&(keyStripes-1)]
 }
 
 // fields of the program PHV, grouped for readability.
@@ -186,10 +208,10 @@ func New(cfg Config) (*Switch, error) {
 		return nil, err
 	}
 	sw := &Switch{
-		cfg:          cfg,
-		sampler:      sketch.NewSampler(cfg.SampleRate, cfg.SampleSeed),
-		hotThreshold: cfg.HotThreshold,
+		cfg:     cfg,
+		sampler: sketch.NewSampler(cfg.SampleRate, cfg.SampleSeed),
 	}
+	sw.hotThreshold.Store(cfg.HotThreshold)
 	p := dataplane.NewProgram("netcache")
 	sw.prog = p
 
@@ -310,6 +332,18 @@ func (sw *Switch) buildIngress(f phv) {
 		ctx.Set(f.vidx, (d>>32)&0xFFFF)
 		ctx.Set(f.kidx, (d>>16)&0xFFFF)
 		ctx.Set(f.srvPort, d&0xFFFF)
+		// Per-key serialization (§4.3): a cached GET shares the key with
+		// other readers; writes and cache updates get exclusive access.
+		// Held until the packet leaves the pipeline, spanning the egress
+		// status/vlen/counter/value stages as one atomic step.
+		mu := sw.keyLock(int((d >> 16) & 0xFFFF))
+		if netproto.Op(ctx.Get(f.op)) == netproto.OpGet {
+			mu.RLock()
+			ctx.OnComplete(mu.RUnlock)
+		} else {
+			mu.Lock()
+			ctx.OnComplete(mu.Unlock)
+		}
 	})
 	sw.lookup = lookup
 
@@ -411,7 +445,7 @@ func (sw *Switch) buildEgress(f phv) {
 		ctx.Set(f.isValid, ctx.RegGet(sw.valid, int(ctx.Get(f.kidx))))
 	})
 	status.Action("invalidate", func(ctx *dataplane.Ctx, data []uint64) {
-		sw.invalidations++
+		sw.invalidations.Add(1)
 		ctx.RegSet(sw.valid, int(ctx.Get(f.kidx)), 0)
 		// Tell the server the key is cached by rewriting the op (§4.3).
 		if netproto.Op(ctx.Get(f.op)) == netproto.OpPut {
@@ -454,7 +488,7 @@ func (sw *Switch) buildEgress(f phv) {
 	// copies stored in the switches on the routes to storage servers"):
 	// this switch's copy is invalidated too, the op stays as it is.
 	status.Action("invalidate_pass", func(ctx *dataplane.Ctx, data []uint64) {
-		sw.invalidations++
+		sw.invalidations.Add(1)
 		ctx.RegSet(sw.valid, int(ctx.Get(f.kidx)), 0)
 	})
 	mustAdd(status, []uint64{uint64(netproto.OpGet)}, "check", nil)
@@ -571,7 +605,7 @@ func (sw *Switch) buildEgress(f phv) {
 		Gate:        missGate,
 	})
 	hhCheck.Action("compare", func(ctx *dataplane.Ctx, data []uint64) {
-		if ctx.Get(f.cmMin) >= sw.hotThreshold {
+		if ctx.Get(f.cmMin) >= sw.hotThreshold.Load() {
 			ctx.Set(f.hot, 1)
 		}
 	})
@@ -808,6 +842,15 @@ func (sw *Switch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error)
 
 // Pipeline exposes the underlying pipeline (counters, config).
 func (sw *Switch) Pipeline() *dataplane.Pipeline { return sw.pl }
+
+// SyncDigests blocks until every hot-key / overflow digest emitted by
+// already-completed Process calls has reached the registered handler.
+// Controllers call it before acting on reports so a tick observes all the
+// traffic that preceded it.
+func (sw *Switch) SyncDigests() { sw.pl.SyncDigests() }
+
+// Close stops the digest drain goroutine. Call after traffic has quiesced.
+func (sw *Switch) Close() { sw.pl.Close() }
 
 // Config returns the switch configuration.
 func (sw *Switch) Config() Config { return sw.cfg }

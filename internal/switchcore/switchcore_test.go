@@ -334,6 +334,7 @@ func TestHotReportOncePerCycle(t *testing.T) {
 	for i := 0; i < th*3; i++ {
 		one(t, r.sw, f, clientPort)
 	}
+	r.sw.SyncDigests()
 	if len(reports) != 1 {
 		t.Fatalf("got %d reports, want exactly 1 (Bloom dedup)", len(reports))
 	}
@@ -346,6 +347,7 @@ func TestHotReportOncePerCycle(t *testing.T) {
 	for i := 0; i < th*2; i++ {
 		one(t, r.sw, f, clientPort)
 	}
+	r.sw.SyncDigests()
 	if len(reports) != 2 {
 		t.Errorf("after reset got %d reports, want 2", len(reports))
 	}
@@ -363,6 +365,7 @@ func TestColdKeysNotReported(t *testing.T) {
 		f := mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Key: key})
 		one(t, r.sw, f, clientPort)
 	}
+	r.sw.SyncDigests()
 	if len(reports) != 0 {
 		t.Errorf("cold keys produced %d hot reports", len(reports))
 	}
@@ -378,6 +381,7 @@ func TestSetHotThreshold(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		one(t, r.sw, f, clientPort)
 	}
+	r.sw.SyncDigests()
 	if reports != 1 {
 		t.Errorf("threshold 3: %d reports after 3 queries", reports)
 	}

@@ -43,9 +43,17 @@ type SwitchConfig struct {
 	CacheCapacity int
 	// Cycle is the controller period (zero: 1s, like the paper).
 	Cycle time.Duration
+	// Workers is the number of concurrent socket-read goroutines feeding
+	// the pipeline (zero: 4). The pipeline itself is concurrency-safe, so
+	// each worker pushes frames through the switch independently — the
+	// userspace analogue of the ASIC's parallel pipes.
+	Workers int
 	// Logf receives operational messages; nil silences them.
 	Logf func(format string, args ...any)
 }
+
+// defaultDaemonWorkers is the read-loop pool size when Workers is zero.
+const defaultDaemonWorkers = 4
 
 // SwitchDaemon is a running userspace NetCache switch.
 type SwitchDaemon struct {
@@ -139,8 +147,39 @@ func (d *SwitchDaemon) Close() {
 }
 
 // Run serves until Close. It blocks; start it in a goroutine if needed.
+// Frames are read and processed by a pool of worker goroutines (see
+// SwitchConfig.Workers), each with its own buffer on the shared socket.
 func (d *SwitchDaemon) Run() error {
 	go d.controllerLoop()
+	workers := d.cfg.Workers
+	if workers <= 0 {
+		workers = defaultDaemonWorkers
+	}
+	errc := make(chan error, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := d.readLoop(); err != nil {
+				select {
+				case errc <- err:
+				default:
+				}
+				d.Close() // unblock the other workers
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return err
+	default:
+		return nil
+	}
+}
+
+func (d *SwitchDaemon) readLoop() error {
 	buf := make([]byte, maxDatagram)
 	for {
 		n, from, err := d.conn.ReadFromUDP(buf)
@@ -345,6 +384,7 @@ func (d *SwitchDaemon) controllerLoop() {
 			return
 		case <-t.C:
 			before := d.ctl.Metrics.Inserts.Value()
+			d.sw.SyncDigests()
 			d.ctl.Tick()
 			if n := d.ctl.Metrics.Inserts.Value() - before; n > 0 {
 				d.logf("switch: controller cycle cached %d hot key(s), cache=%d", n, d.ctl.Len())
