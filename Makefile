@@ -3,17 +3,23 @@
 
 GO ?= go
 
-.PHONY: all test race bench experiments examples fuzz vet clean
+.PHONY: all test race bench chaos experiments examples fuzz vet clean
 
-all: vet test
+all: test
 
-# The default test target includes the race detector: the data plane is
-# concurrent end to end, so a non-race run alone proves little.
-test: race
+# The default test target vets first, then includes the race detector: the
+# data plane is concurrent end to end, so a non-race run alone proves little.
+test: vet race
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# The invariant-checked chaos suite (internal/chaos) under the race
+# detector. Rerun a failing seed with:
+#   go test -race ./internal/chaos -run TestChaos -chaos.seed=<seed>
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -27,7 +27,16 @@ func main() {
 	quick := flag.Bool("quick", false, "trade precision for runtime")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	loss := flag.Float64("loss", harness.ChaosParams.Loss, "chaosbench: per-frame loss probability")
+	dup := flag.Float64("dup", harness.ChaosParams.Dup, "chaosbench: per-frame duplication probability")
+	reorder := flag.Float64("reorder", harness.ChaosParams.Reorder, "chaosbench: per-frame reorder probability")
+	corrupt := flag.Float64("corrupt", harness.ChaosParams.Corrupt, "chaosbench: per-frame corruption probability")
+	rebootEvery := flag.Int("reboot-every", harness.ChaosParams.RebootEvery, "chaosbench: switch reboot interval in ops (0 disables)")
 	flag.Parse()
+	harness.ChaosParams = harness.FaultParams{
+		Loss: *loss, Dup: *dup, Reorder: *reorder, Corrupt: *corrupt,
+		RebootEvery: *rebootEvery,
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {

@@ -235,6 +235,28 @@ func (a *Allocator) Insert(key netproto.Key, valueSize int) (Placement, error) {
 	return p, nil
 }
 
+// Adopt records an externally determined placement for key, consuming its
+// slots — the recovery path of a controller rebuilding its allocator from
+// the entries already installed in a warm switch. It fails if the key is
+// already tracked, the placement is out of range, or any of its slots is
+// occupied.
+func (a *Allocator) Adopt(key netproto.Key, p Placement) error {
+	if _, dup := a.keyMap[key]; dup {
+		return ErrAlreadyCached
+	}
+	if p.Index < 0 || p.Index >= a.indexes || p.Bitmap == 0 || int(p.Bitmap) >= 1<<a.arrays {
+		return fmt.Errorf("cachemem: adopt placement (index %d, bitmap %#x) out of range", p.Index, p.Bitmap)
+	}
+	if a.free[p.Index]&p.Bitmap != p.Bitmap {
+		return fmt.Errorf("cachemem: adopt placement (index %d, bitmap %#x) overlaps occupied slots", p.Index, p.Bitmap)
+	}
+	a.free[p.Index] &^= p.Bitmap
+	a.freeSlots -= p.Slots()
+	a.keyMap[key] = p
+	a.advanceHint()
+	return nil
+}
+
 // Evict frees the slots of key (Algorithm 2, Evict) and reports whether the
 // key was cached.
 func (a *Allocator) Evict(key netproto.Key) bool {
@@ -395,6 +417,23 @@ func (p *IndexPool) Alloc() int {
 	p.free = p.free[:len(p.free)-1]
 	p.used[idx] = true
 	return idx
+}
+
+// Reserve marks a specific index as allocated — the recovery counterpart of
+// Alloc, used when rebuilding state from a switch whose entries already hold
+// indexes. It reports whether the index was free.
+func (p *IndexPool) Reserve(idx int) bool {
+	if idx < 0 || idx >= p.cap || p.used[idx] {
+		return false
+	}
+	for i, v := range p.free {
+		if v == idx {
+			p.free = append(p.free[:i], p.free[i+1:]...)
+			p.used[idx] = true
+			return true
+		}
+	}
+	return false
 }
 
 // Free returns idx to the pool; freeing an unallocated index panics, as it

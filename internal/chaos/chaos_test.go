@@ -1,0 +1,151 @@
+package chaos
+
+import (
+	"flag"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"netcache/internal/client"
+)
+
+// chaosSeed lets a failing run be replayed exactly:
+//
+//	go test ./internal/chaos -run TestChaos -chaos.seed=<seed>
+var chaosSeed = flag.Uint64("chaos.seed", 0, "run the chaos suite with this single seed")
+
+var defaultSeeds = []uint64{1, 20260806, 0xC0FFEE}
+
+func seeds() []uint64 {
+	if *chaosSeed != 0 {
+		return []uint64{*chaosSeed}
+	}
+	return defaultSeeds
+}
+
+// TestChaos is the invariant-checked chaos suite: for every seed the rack
+// endures duplication, reordering, corruption, partitions, a server crash
+// and restart, a switch reboot and a controller restart — while freshness,
+// durability and convergence hold.
+func TestChaos(t *testing.T) {
+	for _, seed := range seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := Run(Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("chaos run error (rerun with -chaos.seed=%d): %v", seed, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if rep.Failed() {
+				t.Logf("timeline (rerun with -chaos.seed=%d):", seed)
+				for _, e := range rep.Events {
+					t.Logf("  %s", e)
+				}
+				t.Fatalf("%d invariant violations at seed %d — rerun with -chaos.seed=%d",
+					len(rep.Violations), seed, seed)
+			}
+			// The scenario must actually have bitten.
+			if rep.ServerCrashes == 0 || rep.SwitchReboots == 0 || rep.ControllerRestarts == 0 {
+				t.Errorf("seed %d: lifecycle coverage: crashes=%d reboots=%d ctl-restarts=%d",
+					seed, rep.ServerCrashes, rep.SwitchReboots, rep.ControllerRestarts)
+			}
+			if rep.Duplicated == 0 || rep.Reordered == 0 || rep.CorruptInjected == 0 || rep.PartitionDropped == 0 {
+				t.Errorf("seed %d: fault coverage: dup=%d reorder=%d corrupt=%d partition=%d",
+					seed, rep.Duplicated, rep.Reordered, rep.CorruptInjected, rep.PartitionDropped)
+			}
+			if rep.Ops == 0 || rep.Ops == rep.Timeouts {
+				t.Errorf("seed %d: workload did not run meaningfully: ops=%d timeouts=%d",
+					seed, rep.Ops, rep.Timeouts)
+			}
+		})
+	}
+}
+
+// The scenario — fault rates, targets, lifecycle order — is a pure function
+// of the seed, and so is the run's event timeline.
+func TestScenarioDeterministicPerSeed(t *testing.T) {
+	cfg := Config{Seed: 42}
+	cfg.fill()
+	a, b := buildScenario(cfg), buildScenario(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("buildScenario is not deterministic for a fixed seed")
+	}
+	cfg2 := Config{Seed: 43}
+	cfg2.fill()
+	if reflect.DeepEqual(a, buildScenario(cfg2)) {
+		t.Fatal("different seeds produced identical scenarios")
+	}
+
+	repA, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repB, err := Run(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repA.Events, repB.Events) {
+		t.Errorf("event timelines diverge for the same seed:\nA: %v\nB: %v", repA.Events, repB.Events)
+	}
+}
+
+// Oracle unit checks: the checker must accept every legal observation and
+// reject the illegal ones.
+func TestOracleCheckRead(t *testing.T) {
+	const size = 24
+	o := newOracle()
+	v1 := o.issue(opPut)
+	o.ack(v1)
+	v2 := o.issue(opPut) // issued, never acked
+
+	if msg := o.checkRead(3, o.floor(), encodeValue(3, v1, size), nil, size); msg != "" {
+		t.Errorf("acked version rejected: %s", msg)
+	}
+	if msg := o.checkRead(3, o.floor(), encodeValue(3, v2, size), nil, size); msg != "" {
+		t.Errorf("issued-unacked version rejected: %s", msg)
+	}
+	o.ack(v2)
+	if msg := o.checkRead(3, o.floor(), encodeValue(3, v1, size), nil, size); msg == "" {
+		t.Error("stale read accepted")
+	}
+	if msg := o.checkRead(3, o.floor(), encodeValue(3, 99, size), nil, size); msg == "" {
+		t.Error("never-written version accepted")
+	}
+	if msg := o.checkRead(4, o.floor(), encodeValue(3, v2, size), nil, size); msg == "" {
+		t.Error("cross-key value accepted")
+	}
+
+	// No delete issued yet: absence of an acked put is a lost write.
+	if msg := o.checkRead(3, o.floor(), nil, client.ErrNotFound, size); msg == "" {
+		t.Error("NotFound without any delete accepted")
+	}
+	// An issued delete may have applied even if its ack was lost, so
+	// NotFound becomes legal the moment it is issued.
+	d := o.issue(opDelete)
+	if msg := o.checkRead(3, o.floor(), nil, client.ErrNotFound, size); msg != "" {
+		t.Errorf("NotFound with unacked delete rejected: %s", msg)
+	}
+	o.ack(d)
+	if msg := o.checkRead(3, o.floor(), nil, client.ErrNotFound, size); msg != "" {
+		t.Errorf("NotFound after acked delete rejected: %s", msg)
+	}
+}
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		kid  int
+		ver  uint64
+		size int
+	}{{0, 1, 24}, {23, 999999, 24}, {7, 12, 4}} {
+		val := encodeValue(tc.kid, tc.ver, tc.size)
+		kid, ver, ok := parseValue(val)
+		if !ok || kid != tc.kid || ver != tc.ver {
+			t.Errorf("roundtrip(%d,%d): got (%d,%d,%v)", tc.kid, tc.ver, kid, ver, ok)
+		}
+	}
+	if _, _, ok := parseValue([]byte("garbage")); ok {
+		t.Error("garbage parsed")
+	}
+}

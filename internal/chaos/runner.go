@@ -1,0 +1,426 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"netcache/internal/client"
+	"netcache/internal/netproto"
+	"netcache/internal/rack"
+	"netcache/internal/simnet"
+	"netcache/internal/workload"
+)
+
+// portFault is one fault rule applied for the duration of a phase.
+type portFault struct {
+	port int
+	dir  simnet.Dir
+	rule simnet.FaultRule
+}
+
+// lifecycle events executed between phases.
+type eventKind uint8
+
+const (
+	evNone eventKind = iota
+	evCrashServer
+	evRestartServer
+	evRebootSwitch
+	evHealPartition
+	evRestartController
+	evTick
+)
+
+type event struct {
+	kind eventKind
+	arg  int // server index, or rebuild flag for controller restart
+}
+
+// phase is one scenario step: install faults, run the workload, fire the
+// lifecycle events.
+type phase struct {
+	name      string
+	faults    []portFault
+	partition [2][]int // non-nil: partition faults[0] ports from faults[1]
+	events    []event
+}
+
+// scenario is the full seed-derived plan.
+type scenario struct {
+	crashTarget     int
+	partitionTarget int
+	ctlRebuild      bool
+	phases          []phase
+}
+
+// buildScenario derives the whole fault/lifecycle timeline from the seed.
+// It is a pure function of (seed, cfg sizes): same seed, same plan.
+func buildScenario(cfg Config) scenario {
+	r := newRng(cfg.Seed)
+	var sc scenario
+	sc.crashTarget = r.intn(cfg.Servers)
+	sc.partitionTarget = r.intn(cfg.Servers)
+	sc.ctlRebuild = r.intn(2) == 1
+
+	clientPorts := make([]int, cfg.Clients)
+	for i := range clientPorts {
+		clientPorts[i] = cfg.Servers + i
+	}
+	randServer := func() int { return r.intn(cfg.Servers) }
+	randClientPort := func() int { return clientPorts[r.intn(len(clientPorts))] }
+
+	// Phase 1: loss + duplication around a server and a client port, then
+	// the target server crashes.
+	sc.phases = append(sc.phases, phase{
+		name: "loss+dup",
+		faults: []portFault{
+			{randServer(), simnet.FromSwitch, simnet.FaultRule{Loss: r.rate(0.05, 0.2), Dup: r.rate(0.3, 0.6)}},
+			{randClientPort(), simnet.ToSwitch, simnet.FaultRule{Dup: r.rate(0.2, 0.5)}},
+		},
+		events: []event{{kind: evCrashServer, arg: sc.crashTarget}},
+	})
+	// Phase 2: reordering while the crashed server is down; it then
+	// restarts with its store intact.
+	sc.phases = append(sc.phases, phase{
+		name: "reorder+server-down",
+		faults: []portFault{
+			{randServer(), simnet.FromSwitch, simnet.FaultRule{Reorder: r.rate(0.3, 0.6), ReorderDepth: 2 + r.intn(4)}},
+			{randClientPort(), simnet.ToSwitch, simnet.FaultRule{Reorder: r.rate(0.2, 0.5), ReorderDepth: 2 + r.intn(3)}},
+		},
+		events: []event{{kind: evRestartServer, arg: sc.crashTarget}, {kind: evTick}},
+	})
+	// Phase 3: corruption on the wire; afterwards the switch power-cycles
+	// and the controller repopulates the cache.
+	sc.phases = append(sc.phases, phase{
+		name: "corrupt",
+		faults: []portFault{
+			{randClientPort(), simnet.ToSwitch, simnet.FaultRule{Corrupt: r.rate(0.2, 0.4)}},
+			{randServer(), simnet.ToSwitch, simnet.FaultRule{Corrupt: r.rate(0.1, 0.3)}},
+		},
+		events: []event{{kind: evRebootSwitch}, {kind: evTick}},
+	})
+	// Phase 4: the clients are partitioned from one server; afterwards the
+	// partition heals and the controller process is replaced.
+	rebuildArg := 0
+	if sc.ctlRebuild {
+		rebuildArg = 1
+	}
+	sc.phases = append(sc.phases, phase{
+		name:      "partition",
+		partition: [2][]int{clientPorts, {sc.partitionTarget}},
+		events: []event{
+			{kind: evHealPartition},
+			{kind: evRestartController, arg: rebuildArg},
+			{kind: evTick},
+		},
+	})
+	// Phase 5: everything at once, at lower rates.
+	sc.phases = append(sc.phases, phase{
+		name: "mixed",
+		faults: []portFault{
+			{randServer(), simnet.FromSwitch, simnet.FaultRule{
+				Loss: r.rate(0.02, 0.1), Dup: r.rate(0.1, 0.3),
+				Corrupt: r.rate(0.05, 0.15), Reorder: r.rate(0.1, 0.3), ReorderDepth: 3,
+			}},
+			{randClientPort(), simnet.ToSwitch, simnet.FaultRule{
+				Dup: r.rate(0.1, 0.2), Reorder: r.rate(0.1, 0.2), ReorderDepth: 2,
+			}},
+		},
+		events: []event{{kind: evTick}},
+	})
+	return sc
+}
+
+// runner holds the live state of one chaos run.
+type runner struct {
+	cfg     Config
+	rack    *rack.Rack
+	oracles []*keyOracle
+	keys    []netproto.Key
+
+	mu     sync.Mutex
+	report *Report
+
+	downServers map[int]bool
+}
+
+func (rn *runner) violate(format string, args ...any) {
+	rn.mu.Lock()
+	rn.report.Violations = append(rn.report.Violations, fmt.Sprintf(format, args...))
+	rn.mu.Unlock()
+}
+
+func (rn *runner) event(format string, args ...any) {
+	rn.report.Events = append(rn.report.Events, fmt.Sprintf(format, args...))
+}
+
+// Run executes one seeded chaos scenario and reports what happened.
+func Run(cfg Config) (*Report, error) {
+	cfg.fill()
+	r, err := rack.New(rack.Config{
+		Servers:       cfg.Servers,
+		Clients:       cfg.Clients,
+		CacheCapacity: cfg.CacheCapacity,
+		ClientTimeout: 2 * time.Millisecond,
+		ClientRetries: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Net.Reseed(cfg.Seed)
+
+	rn := &runner{
+		cfg:         cfg,
+		rack:        r,
+		report:      &Report{Seed: cfg.Seed},
+		downServers: make(map[int]bool),
+	}
+	rn.keys = make([]netproto.Key, cfg.Keys)
+	rn.oracles = make([]*keyOracle, cfg.Keys)
+	for i := range rn.keys {
+		rn.keys[i] = workload.KeyName(i)
+		rn.oracles[i] = newOracle()
+	}
+
+	sc := buildScenario(cfg)
+	rn.event("scenario: crash-target=s%d partition-target=s%d ctl-rebuild=%v",
+		sc.crashTarget, sc.partitionTarget, sc.ctlRebuild)
+
+	// Warmup: every key gets an acked baseline write through its owner,
+	// then a seed-independent slice of keys is pre-cached.
+	if err := rn.warmup(); err != nil {
+		return nil, err
+	}
+
+	for pi, ph := range sc.phases {
+		rn.installFaults(ph)
+		rn.event("phase %d (%s): faults installed", pi+1, ph.name)
+		rn.runWorkload(cfg.Seed^uint64(pi+1)*0xA5A5A5A5A5A5A5A5, cfg.OpsPerPhase)
+		rn.clearFaults()
+		for _, ev := range ph.events {
+			if err := rn.fire(pi+1, ev); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	rn.converge()
+	rn.snapshotCounters()
+	return rn.report, nil
+}
+
+func (rn *runner) warmup() error {
+	var wg sync.WaitGroup
+	for c := 0; c < rn.cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli := rn.rack.Client(c)
+			for kid := c; kid < rn.cfg.Keys; kid += rn.cfg.Clients {
+				rn.put(cli, kid)
+			}
+		}(c)
+	}
+	wg.Wait()
+	for kid := 0; kid < rn.cfg.Keys && kid/3 < rn.cfg.CacheCapacity; kid += 3 {
+		if err := rn.rack.Controller.InsertKey(rn.keys[kid]); err != nil {
+			return fmt.Errorf("chaos warmup: pre-cache key %d: %w", kid, err)
+		}
+	}
+	rn.event("warmup: %d keys written, %d pre-cached",
+		rn.cfg.Keys, rn.rack.Controller.Len())
+	return nil
+}
+
+func (rn *runner) installFaults(ph phase) {
+	for _, pf := range ph.faults {
+		rn.rack.Net.SetFault(pf.port, pf.dir, pf.rule)
+	}
+	if len(ph.partition[0]) > 0 {
+		rn.rack.Net.SetPartitioned(ph.partition[0], ph.partition[1], true)
+	}
+}
+
+func (rn *runner) clearFaults() {
+	rn.rack.Net.ClearFaults()
+	rn.rack.Net.Flush()
+}
+
+func (rn *runner) fire(phaseNo int, ev event) error {
+	switch ev.kind {
+	case evCrashServer:
+		rn.rack.CrashServer(ev.arg)
+		rn.downServers[ev.arg] = true
+		rn.report.ServerCrashes++
+		rn.event("phase %d: crash server %d", phaseNo, ev.arg)
+	case evRestartServer:
+		rn.rack.RestartServer(ev.arg, false)
+		delete(rn.downServers, ev.arg)
+		rn.event("phase %d: restart server %d (store preserved)", phaseNo, ev.arg)
+	case evRebootSwitch:
+		if err := rn.rack.RebootSwitch(); err != nil {
+			return fmt.Errorf("chaos: reboot switch: %w", err)
+		}
+		rn.report.SwitchReboots++
+		rn.event("phase %d: switch rebooted", phaseNo)
+	case evHealPartition:
+		// ClearFaults after the phase already removed the partition;
+		// recorded for the timeline.
+		rn.event("phase %d: partition healed", phaseNo)
+	case evRestartController:
+		if err := rn.rack.RestartController(ev.arg == 1); err != nil {
+			return fmt.Errorf("chaos: restart controller: %w", err)
+		}
+		rn.report.ControllerRestarts++
+		rn.event("phase %d: controller restarted (rebuild=%v)", phaseNo, ev.arg == 1)
+	case evTick:
+		rn.rack.Tick()
+		rn.event("phase %d: controller tick", phaseNo)
+	}
+	return nil
+}
+
+// runWorkload drives OpsPerPhase ops from every client concurrently. The op
+// sequence is derived from the seed per client; the interleaving is not.
+func (rn *runner) runWorkload(seed uint64, ops int) {
+	var wg sync.WaitGroup
+	for c := 0; c < rn.cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cli := rn.rack.Client(c)
+			r := newRng(seed + uint64(c)*0x9E3779B97F4A7C15)
+			owned := rn.ownedKeys(c)
+			for i := 0; i < ops; i++ {
+				switch roll := r.intn(100); {
+				case roll < 50:
+					rn.get(cli, r.intn(rn.cfg.Keys))
+				case roll < 85:
+					rn.put(cli, owned[r.intn(len(owned))])
+				default:
+					rn.del(cli, owned[r.intn(len(owned))])
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+func (rn *runner) ownedKeys(c int) []int {
+	var owned []int
+	for kid := c; kid < rn.cfg.Keys; kid += rn.cfg.Clients {
+		owned = append(owned, kid)
+	}
+	return owned
+}
+
+func (rn *runner) countOp(err error) {
+	rn.mu.Lock()
+	rn.report.Ops++
+	if errors.Is(err, client.ErrTimeout) {
+		rn.report.Timeouts++
+	}
+	rn.mu.Unlock()
+}
+
+func (rn *runner) get(cli *client.Client, kid int) {
+	o := rn.oracles[kid]
+	floor := o.floor()
+	val, err := cli.Get(rn.keys[kid])
+	rn.countOp(err)
+	if msg := o.checkRead(kid, floor, val, err, rn.cfg.ValueSize); msg != "" {
+		rn.violate("%s", msg)
+	}
+}
+
+func (rn *runner) put(cli *client.Client, kid int) {
+	o := rn.oracles[kid]
+	ver := o.issue(opPut)
+	err := cli.Put(rn.keys[kid], encodeValue(kid, ver, rn.cfg.ValueSize))
+	rn.countOp(err)
+	if err == nil {
+		o.ack(ver)
+	}
+}
+
+func (rn *runner) del(cli *client.Client, kid int) {
+	o := rn.oracles[kid]
+	ver := o.issue(opDelete)
+	err := cli.Delete(rn.keys[kid])
+	rn.countOp(err)
+	if err == nil {
+		o.ack(ver)
+	}
+}
+
+// converge heals everything and checks the rack settles into a coherent
+// steady state where no acked write has been lost.
+func (rn *runner) converge() {
+	rn.rack.Net.ClearFaults()
+	for i := range rn.downServers {
+		rn.rack.RestartServer(i, false)
+		rn.event("converge: restart server %d", i)
+	}
+	rn.downServers = make(map[int]bool)
+	rn.rack.Net.Flush()
+	rn.rack.Tick()
+	rn.rack.Tick()
+	rn.event("converge: faults cleared, fabric flushed, two controller ticks")
+
+	cliA, cliB := rn.rack.Client(0), rn.rack.Client(rn.cfg.Clients-1)
+	for kid, key := range rn.keys {
+		o := rn.oracles[kid]
+		floor := o.floor()
+		vA, errA := cliA.Get(key)
+		vB, errB := cliB.Get(key)
+		if errors.Is(errA, client.ErrTimeout) || errors.Is(errB, client.ErrTimeout) {
+			rn.violate("key %d: timeout after faults cleared (A=%v B=%v)", kid, errA, errB)
+			continue
+		}
+		if msg := o.checkRead(kid, floor, vA, errA, rn.cfg.ValueSize); msg != "" {
+			rn.violate("converge: %s", msg)
+		}
+		// Two reads through (possibly) different paths agree.
+		if (errA == nil) != (errB == nil) || string(vA) != string(vB) {
+			rn.violate("key %d: divergent steady-state reads %q/%v vs %q/%v", kid, vA, errA, vB, errB)
+		}
+		// The client view matches the owning server's store: the cache is
+		// coherent, not merely self-consistent.
+		stored, _, inStore := rn.rack.ServerOf(key).Store().Get(key)
+		if inStore != (errA == nil) || (inStore && string(stored) != string(vA)) {
+			rn.violate("key %d: client view %q/%v disagrees with store %q/%v",
+				kid, vA, errA, stored, inStore)
+		}
+	}
+
+	// Fresh writes land and read back exactly: the rack is live again.
+	for c := 0; c < rn.cfg.Clients; c++ {
+		cli := rn.rack.Client(c)
+		for _, kid := range rn.ownedKeys(c) {
+			o := rn.oracles[kid]
+			ver := o.issue(opPut)
+			want := encodeValue(kid, ver, rn.cfg.ValueSize)
+			if err := cli.Put(rn.keys[kid], want); err != nil {
+				rn.violate("key %d: post-chaos probe write failed: %v", kid, err)
+				continue
+			}
+			o.ack(ver)
+			got, err := cli.Get(rn.keys[kid])
+			if err != nil || string(got) != string(want) {
+				rn.violate("key %d: post-chaos probe read %q/%v, want %q", kid, got, err, want)
+			}
+		}
+	}
+	rn.event("converge: steady-state and probe checks done")
+}
+
+func (rn *runner) snapshotCounters() {
+	n := rn.rack.Net
+	rn.report.Duplicated = n.Duplicated.Value()
+	rn.report.Reordered = n.Reordered.Value()
+	rn.report.CorruptInjected = n.CorruptInjected.Value()
+	rn.report.PartitionDropped = n.PartitionDropped.Value()
+	rn.report.LossDropped = n.LossDropped.Value()
+}

@@ -169,8 +169,6 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		c.mu.Unlock()
 	}()
 
-	timer := time.NewTimer(c.cfg.Timeout)
-	defer timer.Stop()
 	for attempt := 0; ; attempt++ {
 		c.Metrics.Sent.Inc()
 		if attempt > 0 {
@@ -184,15 +182,16 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 			return reply, nil
 		default:
 		}
-		if !timer.Stop() {
-			select {
-			case <-timer.C:
-			default:
-			}
-		}
-		timer.Reset(c.cfg.Timeout)
+		// A fresh timer per attempt: reusing one timer across attempts
+		// with stop-drain-reset races the runtime's expiry send — Stop
+		// can return false while the send is still in flight, the drain
+		// select finds the channel empty, and the stale expiry then lands
+		// after Reset, firing the next wait instantly and causing a
+		// spurious early retransmit or timeout.
+		timer := time.NewTimer(c.cfg.Timeout)
 		select {
 		case reply := <-ch:
+			timer.Stop()
 			return reply, nil
 		case <-timer.C:
 			if attempt >= c.cfg.Retries {

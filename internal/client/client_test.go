@@ -276,6 +276,75 @@ func TestGetMultiEmpty(t *testing.T) {
 	}
 }
 
+// Regression for the retransmission timer: every attempt must wait its full
+// timeout. The old implementation reused one timer with stop-drain-reset; a
+// stale expiry surviving the drain would fire the next attempt's wait
+// instantly, so an unanswered query could exhaust all retries in far less
+// than (Retries+1) x Timeout. A fresh timer per attempt makes the floor hold.
+func TestEachAttemptWaitsFullTimeout(t *testing.T) {
+	const (
+		timeout = 20 * time.Millisecond
+		retries = 3
+	)
+	cli, srv := newPair(t, timeout, retries)
+	srv.mu.Lock()
+	srv.dropN = 1 << 30 // never answer
+	srv.mu.Unlock()
+
+	start := time.Now()
+	if _, err := cli.Get(netproto.KeyFromString("k")); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	elapsed := time.Since(start)
+	// Allow generous slack below the exact floor for coarse timers, but a
+	// stale expiry collapses at least one full attempt, so anything under
+	// retries x timeout means an attempt returned early.
+	if floor := time.Duration(retries) * timeout; elapsed < floor {
+		t.Errorf("query with %d retries finished in %v, want >= %v (an attempt timed out early)",
+			retries, elapsed, floor)
+	}
+}
+
+// Regression companion: hammer the exact race window. Replies land right at
+// the timeout boundary, so attempts constantly alternate between "reply just
+// beat the timer" and "timer just beat the reply" — the interleaving where a
+// reused timer's in-flight expiry could leak into the next attempt. Every
+// query must still succeed within the retry budget.
+func TestTimerReplyRaceWindow(t *testing.T) {
+	cli, err := New(Config{
+		Addr:      cliAddr,
+		Partition: func(netproto.Key) netproto.Addr { return srvAddr },
+		Timeout:   200 * time.Microsecond,
+		Retries:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	cli.SetSend(func(frame []byte) {
+		fr, _ := netproto.DecodeFrame(frame)
+		var pkt netproto.Packet
+		if netproto.Decode(fr.Payload, &pkt) != nil {
+			return
+		}
+		reply := netproto.Reply(&pkt, []byte("v"), true)
+		payload, _ := reply.Marshal()
+		out := netproto.MarshalFrame(fr.Src, fr.Dst, payload)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(200 * time.Microsecond) // straddle the expiry instant
+			cli.Receive(out)
+		}()
+	})
+	for i := 0; i < 300; i++ {
+		if _, err := cli.Get(netproto.KeyFromString("k")); err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+	}
+	wg.Wait()
+}
+
 // Regression: duplicate replies racing timer-driven re-registration must
 // never block the delivery goroutine (fatal on a synchronous fabric). The
 // delayed double-replying server makes the race likely across iterations.

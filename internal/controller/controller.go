@@ -81,6 +81,8 @@ type Metrics struct {
 	Cycles         stats.Counter
 	CacheDisabled  stats.Counter
 	CacheReenabled stats.Counter
+	Resyncs        stats.Counter
+	Adopted        stats.Counter
 }
 
 // entry is the controller's bookkeeping for one cached item.
@@ -201,6 +203,19 @@ func (c *Controller) CachedKeys() []netproto.Key {
 // cache, and reset the switch statistics (the paper resets every second).
 func (c *Controller) Tick() {
 	c.Metrics.Cycles.Inc()
+
+	// Recovery first: a switch holding fewer lookup entries than the
+	// controller tracks has lost state (a reboot wiped its tables). The
+	// controller is the authority on what should be cached — reinstall
+	// the missing entries from its own bookkeeping, so the cache recovers
+	// without manual intervention while reads keep falling through to the
+	// servers.
+	c.mu.Lock()
+	if len(c.entries) > 0 && c.cfg.Switch.CacheLen() < len(c.entries) {
+		c.Metrics.Resyncs.Inc()
+		c.resyncLocked()
+	}
+	c.mu.Unlock()
 
 	// Control-plane updates first: items whose values outgrew their slot
 	// allocation are reinstalled with a fresh placement (§4.3: "the new
@@ -355,7 +370,7 @@ func (c *Controller) insertLocked(key netproto.Key, freq uint64) bool {
 	// fetch the authoritative value.
 	node.BlockWrites(key)
 	defer node.UnblockWrites(key)
-	value, _, ok := node.FetchValue(key)
+	value, version, ok := node.FetchValue(key)
 	if !ok || len(value) == 0 || len(value) > netproto.MaxValueSize {
 		c.Metrics.FetchMisses.Inc()
 		return false
@@ -388,7 +403,8 @@ func (c *Controller) insertLocked(key netproto.Key, freq uint64) bool {
 		return false
 	}
 	err = c.cfg.Switch.InstallCacheEntry(switchcore.CacheEntry{
-		Key: key, Placement: placement, KeyIndex: kidx, ServerPort: port, Value: value,
+		Key: key, Placement: placement, KeyIndex: kidx, ServerPort: port,
+		Value: value, Version: version,
 	})
 	if err != nil {
 		c.alloc.Evict(key)
@@ -408,6 +424,13 @@ func (c *Controller) evictLocked(e *entry) {
 	if _, err := c.cfg.Switch.RemoveCacheEntry(e.key, e.kidx); err != nil {
 		return
 	}
+	c.dropEntryLocked(e)
+	c.Metrics.Evictions.Inc()
+}
+
+// dropEntryLocked removes an entry from the controller's bookkeeping only —
+// the switch side is already gone (or about to be removed by the caller).
+func (c *Controller) dropEntryLocked(e *entry) {
 	c.alloc.Evict(e.key)
 	c.kidx.Free(e.kidx)
 	delete(c.entries, e.key)
@@ -419,7 +442,86 @@ func (c *Controller) evictLocked(e *entry) {
 			break
 		}
 	}
-	c.Metrics.Evictions.Inc()
+}
+
+// resyncLocked reinstalls every tracked entry missing from the switch,
+// keeping its existing placement and key index. Entries whose value can no
+// longer be fetched, or has grown past the old placement, are dropped from
+// the bookkeeping — they can re-enter through the normal hot-key path.
+func (c *Controller) resyncLocked() {
+	installed := make(map[netproto.Key]bool)
+	for _, ie := range c.cfg.Switch.DumpCache() {
+		installed[ie.Key] = true
+	}
+	for _, key := range append([]netproto.Key(nil), c.order...) {
+		if installed[key] {
+			continue
+		}
+		e := c.entries[key]
+		node, ok := c.cfg.Nodes[e.addr]
+		if !ok && c.cfg.Resolve != nil {
+			node, ok = c.cfg.Resolve(key)
+		}
+		if !ok {
+			c.dropEntryLocked(e)
+			continue
+		}
+		node.BlockWrites(key)
+		value, version, vok := node.FetchValue(key)
+		if !vok || len(value) == 0 || len(value) > netproto.MaxValueSize ||
+			c.alloc.SlotsFor(len(value)) > e.placement.Slots() {
+			node.UnblockWrites(key)
+			c.Metrics.FetchMisses.Inc()
+			c.dropEntryLocked(e)
+			continue
+		}
+		err := c.cfg.Switch.InstallCacheEntry(switchcore.CacheEntry{
+			Key: key, Placement: e.placement, KeyIndex: e.kidx, ServerPort: e.port,
+			Value: value, Version: version,
+		})
+		node.UnblockWrites(key)
+		if err != nil {
+			c.dropEntryLocked(e)
+		}
+	}
+}
+
+// AdoptFromSwitch rebuilds the controller's bookkeeping from the entries
+// installed in the switch — the recovery path of a restarted controller
+// attaching to a warm switch without wiping its cache. Entries that cannot
+// be adopted (conflicting placement or key index, unknown owner) are removed
+// from the switch instead, so the two views end consistent. It requires an
+// empty controller.
+func (c *Controller) AdoptFromSwitch() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) > 0 {
+		return fmt.Errorf("controller: AdoptFromSwitch requires an empty controller, have %d entries", len(c.entries))
+	}
+	for _, ie := range c.cfg.Switch.DumpCache() {
+		addr := c.cfg.Partition(ie.Key)
+		adopted := false
+		if _, known := c.cfg.Nodes[addr]; known || c.cfg.Resolve != nil {
+			if err := c.alloc.Adopt(ie.Key, ie.Placement); err == nil {
+				if c.kidx.Reserve(ie.KeyIndex) {
+					adopted = true
+				} else {
+					c.alloc.Evict(ie.Key)
+				}
+			}
+		}
+		if !adopted {
+			c.cfg.Switch.RemoveCacheEntry(ie.Key, ie.KeyIndex)
+			continue
+		}
+		c.entries[ie.Key] = &entry{
+			key: ie.Key, kidx: ie.KeyIndex, placement: ie.Placement,
+			addr: addr, port: ie.ServerPort,
+		}
+		c.order = append(c.order, ie.Key)
+		c.Metrics.Adopted.Inc()
+	}
+	return nil
 }
 
 // sampleVictimLocked samples up to SampleK cached keys and returns the one

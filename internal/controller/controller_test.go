@@ -1,6 +1,8 @@
 package controller_test
 
 import (
+	"sync"
+
 	"testing"
 
 	"netcache/internal/controller"
@@ -238,5 +240,64 @@ func TestTickWithNoTrafficIsHarmless(t *testing.T) {
 	if r.Controller.Len() != 0 || r.Controller.Metrics.Cycles.Value() != 5 {
 		t.Errorf("idle ticks misbehaved: len=%d cycles=%d",
 			r.Controller.Len(), r.Controller.Metrics.Cycles.Value())
+	}
+}
+
+// Manual cache management (InsertKey/EvictKey — "network operators can also
+// specify rules", §4.2) may race the periodic Tick cycle. Under -race this
+// shakes out lock-ordering bugs between the manual path, eviction sampling,
+// resync and the hot-key machinery; functionally, the controller and switch
+// must agree on the cache contents afterwards.
+func TestInsertEvictRacingTick(t *testing.T) {
+	r := newRack(t, 16, 4)
+	cli := r.Client(0)
+
+	// Background read traffic so ticks have digests to chew on.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cli.Get(workload.KeyName(i % 50))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 40; round++ {
+			key := workload.KeyName(100 + round%8)
+			// Errors (cache at capacity because Tick just filled it,
+			// insertion racing an eviction) are legitimate under churn;
+			// the test cares about data races and the converged state.
+			_ = r.Controller.InsertKey(key)
+			r.Controller.EvictKey(key)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			r.Tick()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-done
+
+	// Converged bookkeeping: every controller entry is installed in the
+	// switch, and counts line up.
+	if got, want := r.Switch.CacheLen(), r.Controller.Len(); got != want {
+		t.Errorf("switch holds %d entries, controller tracks %d", got, want)
+	}
+	for _, k := range r.Controller.CachedKeys() {
+		if !r.Controller.Cached(k) {
+			t.Errorf("snapshot key %v not cached", k)
+		}
 	}
 }

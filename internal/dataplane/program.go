@@ -414,6 +414,38 @@ func (t *Table) AddTernary(match, mask []uint64, priority int, action string, da
 	return nil
 }
 
+// ForEach visits every installed (non-default) entry against a consistent
+// snapshot: match values in MatchFields order, the action name, and the
+// action data. The callback must not mutate the table.
+func (t *Table) ForEach(fn func(match []uint64, action string, data []uint64)) {
+	st := t.state.Load()
+	n := len(t.spec.MatchFields)
+	for _, shard := range st.exact {
+		for _, e := range shard {
+			fn(e.Match[:n], e.Action, e.Data)
+		}
+	}
+	for _, e := range st.ternary {
+		fn(e.Match[:n], e.Action, e.Data)
+	}
+}
+
+// Reset removes every installed entry, keeping the default action — the
+// driver-visible effect of a device power cycle on match RAM.
+func (t *Table) Reset() {
+	t.ctlMu.Lock()
+	defer t.ctlMu.Unlock()
+	st := t.state.Load()
+	ns := &tableState{def: st.def}
+	if st.exact != nil {
+		ns.exact = make([]map[exactKey]*Entry, len(st.exact))
+		for i := range ns.exact {
+			ns.exact[i] = map[exactKey]*Entry{}
+		}
+	}
+	t.state.Store(ns)
+}
+
 func (t *Table) key(match []uint64) (exactKey, error) {
 	var k exactKey
 	if len(match) != len(t.spec.MatchFields) {

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -160,9 +161,15 @@ type Emitted struct {
 // Counters aggregates the pipeline's packet accounting (a snapshot; see
 // Pipeline.Stats).
 type Counters struct {
-	RxPackets      uint64
-	TxPackets      uint64
-	ParseDrops     uint64
+	RxPackets  uint64
+	TxPackets  uint64
+	ParseDrops uint64
+	// Corrupted counts the subset of ParseDrops whose parser error wrapped
+	// ErrCorruptPacket — frames rejected by an integrity check (checksum /
+	// magic) rather than merely being too short or foreign. It is the
+	// dataplane's proof that bit-flipped frames die at the parse boundary
+	// instead of being misparsed into the pipeline.
+	Corrupted      uint64
 	PipeDrops      uint64
 	Mirrored       uint64
 	Digests        uint64
@@ -170,10 +177,16 @@ type Counters struct {
 	ByEgressPipe   []uint64 // packets that consumed each egress pipe
 }
 
+// ErrCorruptPacket is the sentinel a program's parser wraps (errors.Is) when
+// a packet fails an integrity check; the pipeline counts such drops in
+// Counters.Corrupted in addition to ParseDrops.
+var ErrCorruptPacket = errors.New("dataplane: corrupt packet")
+
 // pipeCounters is the live, concurrently-updated form of Counters.
 type pipeCounters struct {
 	rx, tx         atomic.Uint64
 	parseDrops     atomic.Uint64
+	corrupted      atomic.Uint64
 	pipeDrops      atomic.Uint64
 	mirrored       atomic.Uint64
 	digests        atomic.Uint64
@@ -331,6 +344,9 @@ func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, er
 
 	if err := pl.prog.parser(raw, ctx); err != nil {
 		pl.ctr.parseDrops.Add(1)
+		if errors.Is(err, ErrCorruptPacket) {
+			pl.ctr.corrupted.Add(1)
+		}
 		return nil, nil // parser exceptions drop silently, like hardware
 	}
 
@@ -451,6 +467,7 @@ func (pl *Pipeline) Stats() Counters {
 		RxPackets:      pl.ctr.rx.Load(),
 		TxPackets:      pl.ctr.tx.Load(),
 		ParseDrops:     pl.ctr.parseDrops.Load(),
+		Corrupted:      pl.ctr.corrupted.Load(),
 		PipeDrops:      pl.ctr.pipeDrops.Load(),
 		Mirrored:       pl.ctr.mirrored.Load(),
 		Digests:        pl.ctr.digests.Load(),

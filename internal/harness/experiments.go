@@ -139,6 +139,7 @@ func Experiments() []Experiment {
 		{"fig11c", "Dynamic workload: hot-out", Fig11c},
 		{"resources", "Switch resource usage (§6)", Resources},
 		{"xval", "Packet-level cross-validation of the capacity model", XVal},
+		{"chaosbench", "Rack throughput under fault injection", ChaosBench},
 	}
 	return append(builtin, extra...)
 }

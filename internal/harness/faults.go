@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netcache/internal/netproto"
+	"netcache/internal/rack"
+	"netcache/internal/simnet"
+	"netcache/internal/workload"
+)
+
+// FaultParams parameterizes the chaosbench experiment. The zero value means
+// a clean fabric; cmd/netcache-bench overrides ChaosParams from its
+// fault-injection flags.
+type FaultParams struct {
+	// Loss, Dup, Reorder and Corrupt are per-frame fault probabilities
+	// applied on every server downlink (switch→server) and every client
+	// uplink (client→switch).
+	Loss, Dup, Reorder, Corrupt float64
+	// RebootEvery power-cycles the switch every N client ops (the
+	// controller repopulates on the following tick); 0 disables.
+	RebootEvery int
+}
+
+func (p FaultParams) faulty() bool {
+	return p.Loss > 0 || p.Dup > 0 || p.Reorder > 0 || p.Corrupt > 0
+}
+
+// ChaosParams is the fault mix measured by the chaosbench experiment next
+// to the clean baseline. Overridden by the netcache-bench flags.
+var ChaosParams = FaultParams{Loss: 0.01, Dup: 0.05, Reorder: 0.10, Corrupt: 0.01, RebootEvery: 5000}
+
+// ChaosBench measures what fault injection costs the packet-level rack in
+// throughput terms: the same Zipf read/write workload is driven through a
+// clean fabric and through one injecting the configured fault mix, with
+// periodic switch reboots. Not a paper figure — the paper asserts
+// availability under failures (§6) without measuring it.
+func ChaosBench(quick bool) (*Table, error) {
+	ops := 40000
+	if quick {
+		ops = 8000
+	}
+	t := &Table{
+		ID: "chaosbench", Title: "packet-level rack throughput under fault injection (4 servers, 2 clients, zipf-0.95 reads, 10% writes)",
+		Columns: []string{"loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
+		Notes: []string{
+			"rates are per-frame fault probabilities on server downlinks and client uplinks;",
+			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op",
+		},
+	}
+	for _, p := range []FaultParams{{}, ChaosParams} {
+		kops, timeoutPct, retxPct, reboots, err := runChaosBench(p, ops)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(p.Loss, p.Dup, p.Reorder, p.Corrupt, float64(reboots), kops, timeoutPct, retxPct)
+	}
+	return t, nil
+}
+
+func runChaosBench(p FaultParams, totalOps int) (kops, timeoutPct, retxPct float64, reboots int, err error) {
+	const (
+		servers = 4
+		clients = 2
+		nKeys   = 2000
+		cached  = 64
+	)
+	r, err := rack.New(rack.Config{
+		Servers: servers, Clients: clients, CacheCapacity: cached,
+		ClientTimeout: 2 * time.Millisecond, ClientRetries: 2,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	r.LoadDataset(nKeys, 64)
+	hot := make([]netproto.Key, cached)
+	for i := range hot {
+		hot[i] = workload.KeyName(i)
+	}
+	if err := r.PrePopulate(hot); err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	if p.faulty() {
+		rule := simnet.FaultRule{
+			Loss: p.Loss, Dup: p.Dup, Corrupt: p.Corrupt,
+			Reorder: p.Reorder, ReorderDepth: 4,
+		}
+		for i := 0; i < servers; i++ {
+			r.Net.SetFault(i, simnet.FromSwitch, rule)
+		}
+		for j := 0; j < clients; j++ {
+			r.Net.SetFault(servers+j, simnet.ToSwitch, rule)
+		}
+	}
+
+	zipf, err := workload.NewZipf(nKeys, 0.95)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pop := workload.NewPopularity(nKeys)
+
+	// Ops run in chunks so switch reboots interleave with traffic from
+	// the orchestrating goroutine, like the chaos suite's scenario runner.
+	chunk := totalOps
+	if p.RebootEvery > 0 && p.RebootEvery < chunk {
+		chunk = p.RebootEvery
+	}
+	start := time.Now()
+	for done := 0; done < totalOps; done += chunk {
+		n := chunk
+		if totalOps-done < n {
+			n = totalOps - done
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c, n, base int) {
+				defer wg.Done()
+				cli := r.Client(c)
+				gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+					Reads:      workload.ZipfDist{Z: zipf, Pop: pop},
+					Writes:     workload.UniformDist{N: nKeys},
+					WriteRatio: 0.1,
+					Seed:       int64(base + c),
+				})
+				for i := 0; i < n; i++ {
+					q := gen.Next()
+					key := workload.KeyName(q.Key)
+					if q.Write {
+						cli.Put(key, workload.ValueFor(q.Key, 64))
+					} else {
+						cli.Get(key)
+					}
+				}
+			}(c, n/clients, done)
+		}
+		wg.Wait()
+		if p.RebootEvery > 0 && done+n < totalOps {
+			if err := r.RebootSwitch(); err != nil {
+				return 0, 0, 0, 0, fmt.Errorf("harness: chaosbench reboot: %w", err)
+			}
+			reboots++
+			r.Tick()
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	var sent, retx, timeouts uint64
+	for _, cl := range r.Clients {
+		sent += cl.Metrics.Sent.Value()
+		retx += cl.Metrics.Retransmit.Value()
+		timeouts += cl.Metrics.Timeouts.Value()
+	}
+	opsDone := float64(sent - retx) // first attempts == ops issued
+	kops = opsDone / elapsed / 1e3
+	timeoutPct = 100 * float64(timeouts) / opsDone
+	retxPct = 100 * float64(retx) / opsDone
+	return kops, timeoutPct, retxPct, reboots, nil
+}

@@ -11,6 +11,12 @@ import (
 // (§4.1 "the client appropriately sets the Ethernet and IP headers"). The
 // switch routes on these addresses with its routing table and swaps them
 // when it replies on behalf of a storage server.
+//
+// The header carries a 32-bit checksum over the addresses and the payload —
+// the stand-in for the Ethernet FCS / UDP checksum of the real stack. Any
+// frame corrupted in flight (the chaos fabric flips bytes; real networks
+// flip bits) fails verification in DecodeFrame and is rejected at the parse
+// boundary of every component instead of being misparsed into the pipeline.
 type Frame struct {
 	Dst, Src Addr
 	// Payload is the encoded NetCache packet (or arbitrary bytes for
@@ -21,17 +27,60 @@ type Frame struct {
 // Addr is a rack-local network address (one per client or server NIC).
 type Addr uint16
 
-// FrameHeaderSize is the encoded size of the frame header.
-const FrameHeaderSize = 4
+// FrameHeaderSize is the encoded size of the frame header:
+// DST(2) SRC(2) CKSUM(4).
+const FrameHeaderSize = 8
 
-// ErrShortFrame reports a frame shorter than its header.
-var ErrShortFrame = errors.New("netproto: frame too short")
+// frameCksumOff locates the checksum word within the header.
+const frameCksumOff = 4
 
-// EncodeFrame appends the wire form of the frame to buf.
+// Errors returned by DecodeFrame.
+var (
+	// ErrShortFrame reports a frame shorter than its header.
+	ErrShortFrame = errors.New("netproto: frame too short")
+	// ErrBadFrameChecksum reports a frame whose checksum does not match
+	// its contents — corruption in flight.
+	ErrBadFrameChecksum = errors.New("netproto: frame checksum mismatch")
+)
+
+// frameChecksum computes the header+payload checksum of a full frame,
+// skipping the checksum field itself: an FNV-1a pass folded to 32 bits.
+func frameChecksum(frame []byte) uint32 {
+	h := uint64(14695981039346656037)
+	for _, b := range frame[:frameCksumOff] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for _, b := range frame[FrameHeaderSize:] {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return uint32(h) ^ uint32(h>>32)
+}
+
+// FinalizeFrame recomputes and stores the checksum of a fully assembled
+// frame. Components that patch frame bytes in place (the switch rewrites the
+// op field of writes to cached keys) must call it before emitting the frame,
+// as real hardware recomputes the FCS on egress.
+func FinalizeFrame(frame []byte) {
+	if len(frame) < FrameHeaderSize {
+		return
+	}
+	binary.BigEndian.PutUint32(frame[frameCksumOff:FrameHeaderSize], frameChecksum(frame))
+}
+
+// EncodeFrame appends the wire form of the frame to buf, checksummed.
 func EncodeFrame(buf []byte, dst, src Addr, payload []byte) []byte {
+	start := len(buf)
 	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(src))
-	return append(buf, payload...)
+	buf = append(buf, 0, 0, 0, 0) // checksum placeholder
+	buf = append(buf, payload...)
+	FinalizeFrame(buf[start:])
+	return buf
 }
 
 // MarshalFrame returns the wire form in a fresh slice.
@@ -39,10 +88,13 @@ func MarshalFrame(dst, src Addr, payload []byte) []byte {
 	return EncodeFrame(make([]byte, 0, FrameHeaderSize+len(payload)), dst, src, payload)
 }
 
-// DecodeFrame parses b. The payload aliases b.
+// DecodeFrame parses and verifies b. The payload aliases b.
 func DecodeFrame(b []byte) (Frame, error) {
 	if len(b) < FrameHeaderSize {
 		return Frame{}, ErrShortFrame
+	}
+	if binary.BigEndian.Uint32(b[frameCksumOff:FrameHeaderSize]) != frameChecksum(b) {
+		return Frame{}, ErrBadFrameChecksum
 	}
 	return Frame{
 		Dst:     Addr(binary.BigEndian.Uint16(b[0:2])),

@@ -11,6 +11,7 @@ package rack
 
 import (
 	"fmt"
+	"time"
 
 	"netcache/internal/client"
 	"netcache/internal/controller"
@@ -43,6 +44,13 @@ type Config struct {
 	// WritePolicy optionally enables adaptive cache disabling under
 	// write-dominated load (§7.3).
 	WritePolicy controller.WritePolicy
+	// ClientTimeout overrides the clients' per-attempt reply timeout;
+	// zero keeps the client default. Fault-injection harnesses shrink it
+	// so timed-out queries don't dominate wall-clock time.
+	ClientTimeout time.Duration
+	// ClientRetries overrides the clients' retransmission budget; zero
+	// keeps the client default.
+	ClientRetries int
 }
 
 // Addressing: servers get addresses [1, Servers], clients
@@ -70,6 +78,19 @@ type Rack struct {
 	Partition client.Partitioner
 
 	serverPorts map[netproto.Addr]int
+	// routes remembers every installed (addr, port) route so RebootSwitch
+	// can re-provision the wiped routing table, as a switch OS would from
+	// its startup config.
+	routes []route
+	// ctlCfg is kept so RestartController can build a replacement
+	// controller against the same rack.
+	ctlCfg controller.Config
+}
+
+// route is one provisioned routing-table entry.
+type route struct {
+	addr netproto.Addr
+	port int
 }
 
 // New builds and wires a rack.
@@ -115,6 +136,7 @@ func New(cfg Config) (*Rack, error) {
 		if err := sw.InstallRoute(addr, port); err != nil {
 			return nil, err
 		}
+		r.routes = append(r.routes, route{addr, port})
 		r.Servers = append(r.Servers, srv)
 		serverAddrs[i] = addr
 		nodes[addr] = srv
@@ -126,7 +148,10 @@ func New(cfg Config) (*Rack, error) {
 	for i := 0; i < cfg.Clients; i++ {
 		addr := ClientAddr(i)
 		port := cfg.Servers + i
-		cl, err := client.New(client.Config{Addr: addr, Partition: r.Partition})
+		cl, err := client.New(client.Config{
+			Addr: addr, Partition: r.Partition,
+			Timeout: cfg.ClientTimeout, Retries: cfg.ClientRetries,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -135,10 +160,11 @@ func New(cfg Config) (*Rack, error) {
 		if err := sw.InstallRoute(addr, port); err != nil {
 			return nil, err
 		}
+		r.routes = append(r.routes, route{addr, port})
 		r.Clients = append(r.Clients, cl)
 	}
 
-	ctl, err := controller.New(controller.Config{
+	r.ctlCfg = controller.Config{
 		Switch:    sw,
 		Nodes:     nodes,
 		Partition: func(key netproto.Key) netproto.Addr { return r.Partition(key) },
@@ -149,7 +175,8 @@ func New(cfg Config) (*Rack, error) {
 		Capacity:    cfg.CacheCapacity,
 		SampleK:     cfg.ControllerSampleK,
 		WritePolicy: cfg.WritePolicy,
-	})
+	}
+	ctl, err := controller.New(r.ctlCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -197,4 +224,65 @@ func (r *Rack) PrePopulate(keys []netproto.Key) error {
 func (r *Rack) Tick() {
 	r.Switch.SyncDigests()
 	r.Controller.Tick()
+}
+
+// CrashServer crashes server i: its process state is discarded and its
+// switch port goes down, so in-flight and future frames toward it vanish.
+// Cached keys it owns keep being served by the switch; uncached reads and
+// writes to its partition time out at the clients until RestartServer.
+func (r *Rack) CrashServer(i int) {
+	r.Servers[i].Crash()
+	r.Net.SetPortDown(i, true)
+}
+
+// RestartServer brings a crashed server back, optionally wiping its store
+// (a replacement node instead of a process restart), and restores its link.
+func (r *Rack) RestartServer(i int, wipeStore bool) {
+	r.Servers[i].Restart(wipeStore)
+	r.Net.SetPortDown(i, false)
+}
+
+// RebootSwitch power-cycles the ToR switch: all match tables and register
+// arrays are wiped. The rack immediately re-provisions the routing table
+// (the switch OS restoring its startup config), so traffic flows again with
+// every read falling through to the servers — "if the switch fails, the
+// servers simply absorb all queries" (§6). The cache itself stays empty
+// until the controller's next Tick detects the loss and reinstalls the
+// entries it tracks.
+func (r *Rack) RebootSwitch() error {
+	r.Switch.Reboot()
+	for _, rt := range r.routes {
+		if err := r.Switch.InstallRoute(rt.addr, rt.port); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestartController replaces the controller process. With rebuild the new
+// controller adopts the entries installed in the warm switch (recovering
+// placements and key indexes from the data plane); without it the switch
+// cache is wiped first, so the empty controller and the switch agree and the
+// cache refills through the normal hot-key path. Either way coherence holds:
+// reads served by the switch were installed under write-blocking, and reads
+// not in the cache fall through to the servers.
+func (r *Rack) RestartController(rebuild bool) error {
+	if !rebuild {
+		for _, ie := range r.Switch.DumpCache() {
+			if _, err := r.Switch.RemoveCacheEntry(ie.Key, ie.KeyIndex); err != nil {
+				return err
+			}
+		}
+	}
+	ctl, err := controller.New(r.ctlCfg)
+	if err != nil {
+		return err
+	}
+	if rebuild {
+		if err := ctl.AdoptFromSwitch(); err != nil {
+			return err
+		}
+	}
+	r.Controller = ctl
+	return nil
 }

@@ -50,6 +50,7 @@ type Metrics struct {
 	CacheUpdateRetries  stats.Counter
 	CacheUpdateGiveUps  stats.Counter
 	WritesQueued        stats.Counter
+	WritesDeduped       stats.Counter
 	StaleAcks           stats.Counter
 }
 
@@ -63,12 +64,33 @@ type Server struct {
 	mu   sync.Mutex
 	keys map[netproto.Key]*keyState
 
+	// down marks a crashed server: frames are dropped and control calls
+	// are no-ops until Restart.
+	down bool
+
+	// applied is the per-key write replay guard: the source and sequence
+	// number of the last write applied to the store. A network that
+	// duplicates or reorders frames can deliver a client's retransmitted
+	// (or replayed) write after a newer one; replaying it would resurrect
+	// the old value in the store. A write whose (src, seq) is at or below
+	// the recorded stamp is acknowledged again — the client may have
+	// missed the first ack — but not re-applied. The guard tracks only the
+	// most recent writer per key, which covers retransmissions and replays
+	// under the per-key single-writer discipline the chaos suite checks.
+	applied map[netproto.Key]writeStamp
+
 	// control-request deduplication window (networked §4.3 protocol)
 	ctlSeen  map[uint64]bool
 	ctlOrder []uint64
 
 	// Metrics is exported for harnesses and tests.
 	Metrics Metrics
+}
+
+// writeStamp identifies the last applied write of one key.
+type writeStamp struct {
+	src netproto.Addr
+	seq uint64
 }
 
 // keyState tracks per-key write blocking.
@@ -110,10 +132,56 @@ func New(cfg Config) *Server {
 		store = kvstore.New(cfg.Shards)
 	}
 	return &Server{
-		cfg:   cfg,
-		store: store,
-		keys:  make(map[netproto.Key]*keyState),
+		cfg:     cfg,
+		store:   store,
+		keys:    make(map[netproto.Key]*keyState),
+		applied: make(map[netproto.Key]writeStamp),
 	}
+}
+
+// Crash models a process crash: the server stops receiving, every pending
+// cache-update retransmission is cancelled, and all volatile protocol state
+// (write-block windows, queued writes, control dedup window) is discarded.
+// The store itself survives in memory — Restart decides whether it is
+// preserved (a disk-backed store reattached after a process restart) or
+// wiped (a node replaced from empty).
+func (s *Server) Crash() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.down = true
+	for _, st := range s.keys {
+		if st.pending != nil && st.pending.timer != nil {
+			st.pending.timer.Stop()
+		}
+	}
+	s.keys = make(map[netproto.Key]*keyState)
+	s.ctlSeen = nil
+	s.ctlOrder = nil
+}
+
+// Restart brings a crashed server back. With wipeStore the backing engine is
+// replaced by an empty one (and the write replay guard forgets its stamps —
+// there is no old value left to resurrect); otherwise the store and guard
+// are preserved, as with durable storage.
+func (s *Server) Restart(wipeStore bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if wipeStore {
+		store := kvstore.NewEngine(s.cfg.Engine, s.cfg.Shards)
+		if store == nil {
+			store = kvstore.New(s.cfg.Shards)
+		}
+		s.store = store
+		s.applied = make(map[netproto.Key]writeStamp)
+	}
+	s.down = false
+}
+
+// Down reports whether the server is crashed.
+func (s *Server) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
 }
 
 // Addr returns the server's rack address.
@@ -129,6 +197,12 @@ func (s *Server) SetSend(fn func(frame []byte)) { s.send = fn }
 
 // Receive handles one frame delivered to the server's port.
 func (s *Server) Receive(frame []byte) {
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return // crashed: the NIC is gone
+	}
 	fr, err := netproto.DecodeFrame(frame)
 	if err != nil {
 		return
@@ -203,6 +277,23 @@ func (s *Server) handleWrite(src netproto.Addr, pkt netproto.Packet) {
 // applyWriteLocked applies the write, arranges the cache refresh for cached
 // keys, and releases the lock before sending anything.
 func (s *Server) applyWriteLocked(src netproto.Addr, pkt netproto.Packet) {
+	if ws, ok := s.applied[pkt.Key]; ok && ws.src == src && pkt.Seq <= ws.seq {
+		// Retransmitted or network-replayed write: already applied. Ack
+		// again (the first ack may have been lost) without touching the
+		// store, then keep draining any writes queued behind it.
+		s.Metrics.WritesDeduped.Inc()
+		key := pkt.Key
+		s.mu.Unlock()
+		s.reply(src, netproto.Reply(&pkt, nil, true))
+		s.mu.Lock()
+		if st := s.keys[key]; st != nil {
+			s.drainLocked(key, st) // unlocks
+		} else {
+			s.mu.Unlock()
+		}
+		return
+	}
+	s.applied[pkt.Key] = writeStamp{src: src, seq: pkt.Seq}
 	var refresh *pendingUpdate
 	switch pkt.Op {
 	case netproto.OpPut, netproto.OpPutCached:
@@ -235,6 +326,16 @@ func (s *Server) applyWriteLocked(src netproto.Addr, pkt netproto.Packet) {
 	if refresh != nil {
 		s.sendCacheUpdate(key, refresh)
 		s.scheduleRetry(key, refresh.seq)
+		return
+	}
+	// No refresh armed: the key did not re-block, so continue draining any
+	// writes still queued behind this one (e.g. plain writes that queued
+	// while a now-evicted key's update was in flight).
+	s.mu.Lock()
+	if st := s.keys[key]; st != nil {
+		s.drainLocked(key, st) // unlocks
+	} else {
+		s.mu.Unlock()
 	}
 }
 
@@ -315,10 +416,14 @@ func (s *Server) handleAck(pkt netproto.Packet) {
 }
 
 // BlockWrites opens a controller write-block window on key (used during
-// cache insertion). Blocks nest.
+// cache insertion). Blocks nest. A crashed server ignores the call — its
+// protocol state is gone anyway, and reads fall through to misses.
 func (s *Server) BlockWrites(key netproto.Key) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.down {
+		return
+	}
 	s.stateLocked(key).blocks++
 }
 
@@ -327,7 +432,7 @@ func (s *Server) BlockWrites(key netproto.Key) {
 func (s *Server) UnblockWrites(key netproto.Key) {
 	s.mu.Lock()
 	st := s.keys[key]
-	if st == nil || st.blocks == 0 {
+	if s.down || st == nil || st.blocks == 0 {
 		s.mu.Unlock()
 		return
 	}
@@ -335,8 +440,15 @@ func (s *Server) UnblockWrites(key netproto.Key) {
 	s.drainLocked(key, st) // unlocks
 }
 
-// FetchValue is the controller's read path when populating the cache.
+// FetchValue is the controller's read path when populating the cache. A
+// crashed server has no read path.
 func (s *Server) FetchValue(key netproto.Key) (value []byte, version uint64, ok bool) {
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return nil, 0, false
+	}
 	return s.store.Get(key)
 }
 

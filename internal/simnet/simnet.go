@@ -12,14 +12,23 @@
 // frames at once, and a reentrant handler (a storage server answering a
 // query injects its reply, which may loop straight back to its own port)
 // enqueues rather than recursing — same-goroutine reentrancy that would
-// deadlock a plain per-port mutex. Per-port loss injection exercises the
-// reliable cache-update retry path; its PRNG is a lock-free splitmix64
-// stream over an atomic counter, so concurrent packets never contend on it,
-// while single-goroutine tests stay deterministic.
+// deadlock a plain per-port mutex.
+//
+// The fabric doubles as the fault-injection layer for robustness testing:
+// per-port, per-direction rules (SetFault) lose, duplicate, corrupt, and
+// reorder frames; SetPartitioned drops all traffic between two port groups,
+// and SetPortDown unplugs a port entirely. All probabilistic draws come from
+// one lock-free splitmix64 stream over an atomic counter, so concurrent
+// packets never contend on it, single-goroutine tests stay deterministic,
+// and Reseed reproduces a fault schedule from a seed. Loss injection
+// exercises the reliable cache-update retry path; corruption exercises the
+// frame-checksum parse boundary; reordering and duplication exercise the
+// switch's stale-update protection.
 package simnet
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -46,34 +55,125 @@ type portQueue struct {
 	busy  bool
 }
 
+// Dir selects which cable segment of a port a fault rule applies to,
+// relative to the switch.
+type Dir uint8
+
+const (
+	// ToSwitch faults act on frames injected at the port, before the
+	// switch processes them (the endpoint→switch segment).
+	ToSwitch Dir = iota
+	// FromSwitch faults act on frames the switch emits toward the port,
+	// before the endpoint's handler runs (the switch→endpoint segment).
+	FromSwitch
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == ToSwitch {
+		return "to-switch"
+	}
+	return "from-switch"
+}
+
+// FaultRule configures the fault processes on one port+direction. All
+// probabilities are per frame in [0,1]; the zero rule injects nothing.
+// Faults compose in a fixed order: loss, corrupt, duplicate, reorder.
+type FaultRule struct {
+	// Loss discards the frame.
+	Loss float64
+	// Dup delivers the frame twice.
+	Dup float64
+	// Corrupt flips one to three bytes of a copy of the frame. Corrupted
+	// frames must die at the receiver's parse boundary (the frame
+	// checksum); the CorruptInjected counter is the denominator for that
+	// assertion.
+	Corrupt float64
+	// Reorder holds the frame in a bounded delay queue and releases it
+	// after up to ReorderDepth subsequent frames have passed — delivering
+	// it late, behind newer traffic.
+	Reorder float64
+	// ReorderDepth bounds the delay queue (held frames and the holdback
+	// distance). Zero means 4.
+	ReorderDepth int
+}
+
+// active reports whether the rule injects any fault.
+func (r FaultRule) active() bool { return r != FaultRule{} }
+
+func (r FaultRule) depth() int {
+	if r.ReorderDepth <= 0 {
+		return 4
+	}
+	return r.ReorderDepth
+}
+
+// faultKey addresses one port+direction rule.
+type faultKey struct {
+	port int
+	dir  Dir
+}
+
+// heldFrame is one reorder-delayed frame: released once ttl subsequent
+// frames have passed its port+direction.
+type heldFrame struct {
+	frame []byte
+	ttl   int
+}
+
+// reorderBuf is the bounded delay queue of one port+direction.
+type reorderBuf struct {
+	mu   sync.Mutex
+	held []heldFrame
+}
+
 // Net wires endpoints and cables to a switch. Attach all endpoints before
 // traffic starts; Attach/Cable are not safe to call concurrently with
-// Inject. Inject and SetLoss are safe from any goroutine.
+// Inject. Inject and the fault controls (SetLoss, SetFault, SetPartitioned,
+// SetPortDown, Reseed, Flush) are safe from any goroutine.
 type Net struct {
-	sw      Switch
-	queues  map[int]*portQueue
-	cables  map[int]int
-	lossMu  sync.RWMutex
-	loss    map[int]float64
-	lossCtr atomic.Uint64 // splitmix64 counter stream for loss draws
+	sw     Switch
+	queues map[int]*portQueue
+	cables map[int]int
+
+	// faultMu guards the fault configuration: rules, partitions, downed
+	// ports, and the reorder-buffer map (each buffer has its own mutex).
+	faultMu sync.RWMutex
+	faults  map[faultKey]FaultRule
+	reorder map[faultKey]*reorderBuf
+	parts   map[uint64]struct{} // partitioned (in,out) port pairs
+	down    map[int]bool
+
+	rngCtr atomic.Uint64 // splitmix64 counter stream for fault draws
 
 	// Delivered counts frames handed to endpoints; Unattached counts
 	// emissions to ports with no endpoint or cable; LossDropped counts
-	// frames discarded by loss injection.
-	Delivered   stats.Counter
-	Unattached  stats.Counter
-	LossDropped stats.Counter
+	// frames discarded by loss injection. The remaining counters account
+	// for the other fault processes: duplicates injected, frames held back
+	// for reordering, frames corrupted, frames dropped by a partition, and
+	// frames dropped at a downed port.
+	Delivered        stats.Counter
+	Unattached       stats.Counter
+	LossDropped      stats.Counter
+	Duplicated       stats.Counter
+	Reordered        stats.Counter
+	CorruptInjected  stats.Counter
+	PartitionDropped stats.Counter
+	DownDropped      stats.Counter
 }
 
 // New returns a fabric around sw.
 func New(sw Switch) *Net {
 	n := &Net{
-		sw:     sw,
-		queues: make(map[int]*portQueue),
-		cables: make(map[int]int),
-		loss:   make(map[int]float64),
+		sw:      sw,
+		queues:  make(map[int]*portQueue),
+		cables:  make(map[int]int),
+		faults:  make(map[faultKey]FaultRule),
+		reorder: make(map[faultKey]*reorderBuf),
+		parts:   make(map[uint64]struct{}),
+		down:    make(map[int]bool),
 	}
-	n.lossCtr.Store(1) // fixed seed: reproducible loss patterns
+	n.rngCtr.Store(1) // fixed seed: reproducible fault patterns
 	return n
 }
 
@@ -105,36 +205,198 @@ func (n *Net) Cable(a, b int) {
 }
 
 // SetLoss configures the probability of discarding a frame emitted toward
-// the given port. Safe to call at any time, including during traffic.
+// the given port — shorthand for editing the Loss field of the port's
+// FromSwitch rule. Safe to call at any time, including during traffic.
 func (n *Net) SetLoss(port int, p float64) {
-	n.lossMu.Lock()
-	defer n.lossMu.Unlock()
-	if p <= 0 {
-		delete(n.loss, port)
-		return
+	if p < 0 {
+		p = 0
 	}
 	if p > 1 {
 		p = 1
 	}
-	n.loss[port] = p
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	k := faultKey{port, FromSwitch}
+	r := n.faults[k]
+	r.Loss = p
+	n.setFaultLocked(k, r)
 }
 
-func (n *Net) dropByLoss(port int) bool {
-	n.lossMu.RLock()
-	p, ok := n.loss[port]
-	n.lossMu.RUnlock()
-	if !ok {
-		return false
+// SetFault replaces the fault rule of one port+direction; the zero rule
+// clears it. Frames already held back for reordering stay held until enough
+// traffic passes or Flush releases them.
+func (n *Net) SetFault(port int, dir Dir, r FaultRule) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.setFaultLocked(faultKey{port, dir}, r)
+}
+
+func (n *Net) setFaultLocked(k faultKey, r FaultRule) {
+	if !r.active() {
+		delete(n.faults, k)
+		return
 	}
-	// splitmix64 over an atomically advanced counter: one fetch-and-add,
-	// no shared RNG state to lock.
-	x := n.lossCtr.Add(0x9E3779B97F4A7C15)
+	n.faults[k] = r
+	if r.Reorder > 0 && n.reorder[k] == nil {
+		n.reorder[k] = &reorderBuf{}
+	}
+}
+
+// ClearFaults removes every fault rule (held reorder frames remain until
+// Flush) and clears partitions and downed ports.
+func (n *Net) ClearFaults() {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	n.faults = make(map[faultKey]FaultRule)
+	n.parts = make(map[uint64]struct{})
+	n.down = make(map[int]bool)
+}
+
+// SetPartitioned partitions (or heals, with partitioned=false) the network
+// between two port groups: a frame entering the switch at a port of one
+// group is never emitted at a port of the other. Traffic within a group, and
+// switch-originated replies to the ingress port itself, are unaffected —
+// the switch is not part of either group.
+func (n *Net) SetPartitioned(groupA, groupB []int, partitioned bool) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	for _, a := range groupA {
+		for _, b := range groupB {
+			if partitioned {
+				n.parts[pairKey(a, b)] = struct{}{}
+				n.parts[pairKey(b, a)] = struct{}{}
+			} else {
+				delete(n.parts, pairKey(a, b))
+				delete(n.parts, pairKey(b, a))
+			}
+		}
+	}
+}
+
+// SetPortDown takes a port's link down (or up): everything injected at or
+// emitted toward a down port is discarded, as with an unplugged cable.
+func (n *Net) SetPortDown(port int, isDown bool) {
+	n.faultMu.Lock()
+	defer n.faultMu.Unlock()
+	if isDown {
+		n.down[port] = true
+	} else {
+		delete(n.down, port)
+	}
+}
+
+// Reseed restarts the fault PRNG stream. Two runs with the same seed, the
+// same rules, and the same frame sequence draw identical fault schedules.
+func (n *Net) Reseed(seed uint64) { n.rngCtr.Store(seed) }
+
+func pairKey(in, out int) uint64 {
+	return uint64(uint32(in))<<32 | uint64(uint32(out))
+}
+
+// randU64 draws from the splitmix64 stream over an atomically advanced
+// counter: one fetch-and-add, no shared RNG state to lock.
+func (n *Net) randU64() uint64 {
+	x := n.rngCtr.Add(0x9E3779B97F4A7C15)
 	x ^= x >> 30
 	x *= 0xBF58476D1CE4E5B9
 	x ^= x >> 27
 	x *= 0x94D049BB133111EB
 	x ^= x >> 31
-	return float64(x>>11)/float64(1<<53) < p
+	return x
+}
+
+func (n *Net) rand01() float64 {
+	return float64(n.randU64()>>11) / float64(1<<53)
+}
+
+func (n *Net) isDown(port int) bool {
+	n.faultMu.RLock()
+	d := n.down[port]
+	n.faultMu.RUnlock()
+	return d
+}
+
+func (n *Net) partitioned(in, out int) bool {
+	n.faultMu.RLock()
+	_, p := n.parts[pairKey(in, out)]
+	n.faultMu.RUnlock()
+	return p
+}
+
+// applyFaults runs one frame through the fault processes of port+dir and
+// returns the frames to forward now: none (lost or held), one, or several
+// (duplicates and released holdbacks, holdbacks last).
+func (n *Net) applyFaults(frame []byte, port int, dir Dir) [][]byte {
+	k := faultKey{port, dir}
+	n.faultMu.RLock()
+	r, ok := n.faults[k]
+	rb := n.reorder[k]
+	n.faultMu.RUnlock()
+	if !ok {
+		return [][]byte{frame}
+	}
+	if r.Loss > 0 && n.rand01() < r.Loss {
+		n.LossDropped.Inc()
+		return nil
+	}
+	if r.Corrupt > 0 && n.rand01() < r.Corrupt && len(frame) > 0 {
+		frame = n.corruptCopy(frame)
+		n.CorruptInjected.Inc()
+	}
+	out := [][]byte{frame}
+	if r.Dup > 0 && n.rand01() < r.Dup {
+		n.Duplicated.Inc()
+		out = append(out, frame)
+	}
+	if r.Reorder > 0 && rb != nil {
+		out = rb.pass(n, r, out)
+	}
+	return out
+}
+
+// pass pushes frames through the bounded delay queue: each may be held back
+// (probabilistically, queue permitting), and frames passing age the held
+// ones, releasing any that have waited ReorderDepth frames — behind the
+// newer traffic, which is the reordering.
+func (rb *reorderBuf) pass(n *Net, r FaultRule, frames [][]byte) [][]byte {
+	depth := r.depth()
+	var out [][]byte
+	rb.mu.Lock()
+	for _, f := range frames {
+		if len(rb.held) < depth && n.rand01() < r.Reorder {
+			n.Reordered.Inc()
+			rb.held = append(rb.held, heldFrame{
+				frame: append([]byte(nil), f...), ttl: depth,
+			})
+			continue
+		}
+		out = append(out, f)
+	}
+	if len(out) > 0 {
+		keep := rb.held[:0]
+		for _, h := range rb.held {
+			h.ttl -= len(out)
+			if h.ttl <= 0 {
+				out = append(out, h.frame)
+			} else {
+				keep = append(keep, h)
+			}
+		}
+		rb.held = keep
+	}
+	rb.mu.Unlock()
+	return out
+}
+
+// corruptCopy flips 1–3 bytes of a copy of frame.
+func (n *Net) corruptCopy(frame []byte) []byte {
+	buf := append([]byte(nil), frame...)
+	flips := 1 + int(n.randU64()%3)
+	for i := 0; i < flips; i++ {
+		pos := int(n.randU64() % uint64(len(buf)))
+		buf[pos] ^= byte(1 + n.randU64()%255)
+	}
+	return buf
 }
 
 // Inject pushes a frame into the switch at the given port and delivers all
@@ -143,27 +405,113 @@ func (n *Net) dropByLoss(port int) bool {
 // drained by another goroutine, the frame is queued there and Inject returns
 // without waiting for the handler to run.
 func (n *Net) Inject(frame []byte, port int) error {
-	out, err := n.sw.Process(frame, port)
+	if n.isDown(port) {
+		n.DownDropped.Inc()
+		return nil
+	}
+	for _, f := range n.applyFaults(frame, port, ToSwitch) {
+		if err := n.forward(f, port); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forward runs one frame through the switch and fans out its emissions.
+func (n *Net) forward(frame []byte, inPort int) error {
+	out, err := n.sw.Process(frame, inPort)
 	if err != nil {
 		return err
 	}
 	for _, em := range out {
-		if n.dropByLoss(em.Port) {
-			n.LossDropped.Inc()
+		if n.partitioned(inPort, em.Port) {
+			n.PartitionDropped.Inc()
 			continue
 		}
-		if pq, ok := n.queues[em.Port]; ok {
-			n.Delivered.Inc()
-			pq.deliver(em.Frame)
+		if n.isDown(em.Port) {
+			n.DownDropped.Inc()
 			continue
 		}
-		if peer, ok := n.cables[em.Port]; ok {
-			if err := n.Inject(em.Frame, peer); err != nil {
+		for _, f := range n.applyFaults(em.Frame, em.Port, FromSwitch) {
+			if err := n.deliverFinal(f, em.Port); err != nil {
 				return err
 			}
-			continue
 		}
-		n.Unattached.Inc()
+	}
+	return nil
+}
+
+// deliverFinal hands one post-fault frame to the endpoint or cable at port.
+func (n *Net) deliverFinal(frame []byte, port int) error {
+	if pq, ok := n.queues[port]; ok {
+		n.Delivered.Inc()
+		pq.deliver(frame)
+		return nil
+	}
+	if peer, ok := n.cables[port]; ok {
+		return n.Inject(frame, peer)
+	}
+	n.Unattached.Inc()
+	return nil
+}
+
+// Flush releases every frame still held in a reorder delay queue: ToSwitch
+// holdbacks re-enter the switch, FromSwitch holdbacks go to their endpoints.
+// Chaos scenarios call it after clearing fault rules so quiescing traffic
+// does not strand frames. Release order is deterministic (by port, then
+// direction, then hold order). Bounded to a fixed number of rounds in case
+// still-active rules keep re-holding released frames.
+func (n *Net) Flush() error {
+	for round := 0; round < 64; round++ {
+		type pending struct {
+			key   faultKey
+			frame []byte
+		}
+		var todo []pending
+		n.faultMu.RLock()
+		keys := make([]faultKey, 0, len(n.reorder))
+		for k := range n.reorder {
+			keys = append(keys, k)
+		}
+		n.faultMu.RUnlock()
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].port != keys[j].port {
+				return keys[i].port < keys[j].port
+			}
+			return keys[i].dir < keys[j].dir
+		})
+		for _, k := range keys {
+			n.faultMu.RLock()
+			rb := n.reorder[k]
+			n.faultMu.RUnlock()
+			if rb == nil {
+				continue
+			}
+			rb.mu.Lock()
+			for _, h := range rb.held {
+				todo = append(todo, pending{key: k, frame: h.frame})
+			}
+			rb.held = nil
+			rb.mu.Unlock()
+		}
+		if len(todo) == 0 {
+			return nil
+		}
+		for _, p := range todo {
+			if n.isDown(p.key.port) {
+				n.DownDropped.Inc()
+				continue
+			}
+			var err error
+			if p.key.dir == ToSwitch {
+				err = n.forward(p.frame, p.key.port)
+			} else {
+				err = n.deliverFinal(p.frame, p.key.port)
+			}
+			if err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -41,6 +41,10 @@ type CacheEntry struct {
 	ServerPort int
 	// Value is the initial value (fetched from the server).
 	Value []byte
+	// Version is the store version of Value; it seeds the cache_ver slot
+	// so in-flight data-plane updates older than the installed value are
+	// refused as stale.
+	Version uint64
 }
 
 // InstallCacheEntry populates the value slots, validity, vlen and counter
@@ -63,6 +67,7 @@ func (sw *Switch) InstallCacheEntry(e CacheEntry) error {
 		defer mu.Unlock()
 		sw.writeValueLocked(e.Placement, e.Value)
 		sw.vlen.Set(e.KeyIndex, uint64(len(e.Value)))
+		sw.ver.Set(e.KeyIndex, uint64(uint32(e.Version)))
 		sw.ctr.Set(e.KeyIndex, 0)
 		sw.valid.Set(e.KeyIndex, 1)
 		err = sw.lookup.AddEntry(keyFields(e.Key), "hit",
@@ -289,4 +294,83 @@ func (sw *Switch) CacheLen() int {
 	var n int
 	sw.pl.Control(func() { n = sw.lookup.Len() })
 	return n
+}
+
+// Reboot models a switch power cycle: every match table and register array
+// comes back zeroed, exactly as volatile ASIC state does. Routes, cached
+// entries, validity bits, sketch and Bloom state are all gone; the cumulative
+// pipeline counters (a driver/OS artifact, not chip SRAM) survive so tests
+// can still account for traffic across the reboot. In-flight packets are
+// excluded by taking every key stripe inside the control section, so no
+// packet holds a pre-reboot lookup result across the wipe.
+func (sw *Switch) Reboot() {
+	sw.pl.Control(func() {
+		for i := range sw.keyMu {
+			sw.keyMu[i].Lock()
+		}
+		defer func() {
+			for i := range sw.keyMu {
+				sw.keyMu[i].Unlock()
+			}
+		}()
+		sw.lookup.Reset()
+		sw.route.Reset()
+		sw.valid.Reset()
+		sw.ver.Reset()
+		sw.vlen.Reset()
+		sw.ctr.Reset()
+		for _, r := range sw.cms {
+			r.Reset()
+		}
+		for _, r := range sw.bloom {
+			r.Reset()
+		}
+		for _, r := range sw.values {
+			r.Reset()
+		}
+	})
+}
+
+// InstalledEntry is one cached item as read back from the switch by
+// DumpCache: the installed lookup state plus the live validity bit and
+// version. Size is the current value length from the vlen register.
+type InstalledEntry struct {
+	Key        netproto.Key
+	Placement  cachemem.Placement
+	KeyIndex   int
+	ServerPort int
+	Valid      bool
+	Version    uint64
+}
+
+// DumpCache reads back every installed cache entry from the data plane — the
+// switch-state recovery path a restarted controller uses to rebuild its view
+// without wiping a warm cache.
+func (sw *Switch) DumpCache() []InstalledEntry {
+	var out []InstalledEntry
+	sw.pl.Control(func() {
+		sw.lookup.ForEach(func(match []uint64, action string, data []uint64) {
+			if len(match) != 2 || len(data) != 1 {
+				return
+			}
+			d := data[0]
+			kidx := int((d >> 16) & 0xFFFF)
+			var key netproto.Key
+			binary.BigEndian.PutUint64(key[0:8], match[0])
+			binary.BigEndian.PutUint64(key[8:16], match[1])
+			out = append(out, InstalledEntry{
+				Key: key,
+				Placement: cachemem.Placement{
+					Bitmap: uint16(d >> 48),
+					Index:  int((d >> 32) & 0xFFFF),
+					Size:   int(sw.vlen.Get(kidx)),
+				},
+				KeyIndex:   kidx,
+				ServerPort: int(d & 0xFFFF),
+				Valid:      sw.valid.Get(kidx) == 1,
+				Version:    sw.ver.Get(kidx),
+			})
+		})
+	})
+	return out
 }

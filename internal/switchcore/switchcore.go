@@ -21,6 +21,7 @@ package switchcore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
@@ -138,6 +139,7 @@ type Switch struct {
 	lookup *dataplane.Table
 	route  *dataplane.Table
 	valid  *dataplane.Register
+	ver    *dataplane.Register
 	vlen   *dataplane.Register
 	ctr    *dataplane.Register
 	cms    [4]*dataplane.Register
@@ -286,6 +288,12 @@ func (sw *Switch) buildParser(f phv) {
 	sw.prog.SetParser(func(raw []byte, ctx *dataplane.Ctx) error {
 		fr, err := netproto.DecodeFrame(raw)
 		if err != nil {
+			if errors.Is(err, netproto.ErrBadFrameChecksum) {
+				// Frame failed its integrity check: classify as corrupt
+				// so the pipeline's Corrupted counter proves bit-flipped
+				// frames die here, never half-parsed into the tables.
+				return fmt.Errorf("%w: %v", dataplane.ErrCorruptPacket, err)
+			}
 			return err
 		}
 		ctx.Set(f.l2Dst, uint64(fr.Dst))
@@ -430,13 +438,22 @@ func (sw *Switch) buildEgress(f phv) {
 		Name: "cache_status", Gress: dataplane.Egress,
 		Slots: sw.cfg.CacheSize, SlotBits: 1,
 	})
+	// cache_ver: truncated sequence number of the last applied update per
+	// key. The paper carries writes over reliable transport; here the rack
+	// network may duplicate or reorder frames, so a replayed stale
+	// OpCacheUpdate could regress a value after a newer one landed. Serial
+	// arithmetic over the low 32 bits of SEQ rejects such updates.
+	sw.ver = p.Register(dataplane.RegisterSpec{
+		Name: "cache_ver", Gress: dataplane.Egress,
+		Slots: sw.cfg.CacheSize, SlotBits: 32,
+	})
 	status := p.TableBuild(dataplane.TableSpec{
 		Name:        "cache_status",
 		Gress:       dataplane.Egress,
 		MatchFields: []dataplane.FieldID{f.op},
 		Kind:        dataplane.MatchExact,
 		Size:        8,
-		Registers:   []*dataplane.Register{sw.valid},
+		Registers:   []*dataplane.Register{sw.valid, sw.ver},
 		Gate: func(ctx *dataplane.Ctx) bool {
 			return ctx.Get(f.isNC) == 1 && ctx.Get(f.hit) == 1
 		},
@@ -461,6 +478,23 @@ func (sw *Switch) buildEgress(f phv) {
 		// spoofed update would otherwise open. The ingress port is
 		// hardware metadata; the owner port comes from the lookup.
 		if !sw.cfg.AllowForeignUpdates && ctx.InPort != int(ctx.Get(f.srvPort)) {
+			ctx.Set(f.ovfl, 1) // suppress the vlen/value writes too
+			return
+		}
+		// Version guard: a duplicated or reordered OpCacheUpdate carrying
+		// a sequence number at or below the last applied one must not
+		// regress the cached value. Serial-number comparison over the low
+		// 32 bits; the slot advances only for strictly newer updates.
+		seq32 := uint32(ctx.Get(f.seq))
+		stale := false
+		ctx.RegReadModify(sw.ver, int(ctx.Get(f.kidx)), func(old uint64) uint64 {
+			if int32(seq32-uint32(old)) <= 0 {
+				stale = true
+				return old
+			}
+			return uint64(seq32)
+		})
+		if stale {
 			ctx.Set(f.ovfl, 1) // suppress the vlen/value writes too
 			return
 		}
@@ -764,6 +798,7 @@ func (sw *Switch) buildDeparser(f phv) {
 		if ctx.Get(f.isNC) == 0 {
 			return append(out, ctx.Raw...)
 		}
+		start := len(out)
 		op := netproto.Op(ctx.Get(f.op))
 		switch {
 		case ctx.Get(f.reply) == 1:
@@ -778,20 +813,26 @@ func (sw *Switch) buildDeparser(f phv) {
 			}
 			out = binary.BigEndian.AppendUint16(out, uint16(ctx.Get(f.l2Src)))
 			out = binary.BigEndian.AppendUint16(out, uint16(ctx.Get(f.l2Dst)))
+			out = append(out, 0, 0, 0, 0) // checksum placeholder
 			out, _ = pkt.Encode(out)
+			netproto.FinalizeFrame(out[start:])
 			return out
 		case ctx.Get(f.rewrite) != 0:
-			// Write to a cached key: same frame, rewritten op.
+			// Write to a cached key: same frame, rewritten op. The frame
+			// checksum is recomputed on egress, as hardware recomputes
+			// the FCS after header rewrites.
 			out = append(out, ctx.Raw...)
-			out[frameOpOff] = byte(ctx.Get(f.rewrite))
+			out[start+frameOpOff] = byte(ctx.Get(f.rewrite))
+			netproto.FinalizeFrame(out[start:])
 			return out
 		case op == netproto.OpCacheUpdate:
 			// Acknowledge the data-plane update to the server: strip
 			// the value, flip the op, send it out the server port it
 			// was routed to.
 			out = append(out, ctx.Raw[:frameValueOff]...)
-			out[frameOpOff] = byte(netproto.OpCacheUpdateAck)
-			out[frameVlenOff] = 0
+			out[start+frameOpOff] = byte(netproto.OpCacheUpdateAck)
+			out[start+frameVlenOff] = 0
+			netproto.FinalizeFrame(out[start:])
 			return out
 		default:
 			return append(out, ctx.Raw...)
