@@ -3,13 +3,14 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos experiments examples fuzz vet clean
+.PHONY: all test race bench chaos experiments examples fuzz vet lint clean
 
 all: test
 
-# The default test target vets first, then includes the race detector: the
-# data plane is concurrent end to end, so a non-race run alone proves little.
-test: vet race
+# The default test target vets and lints first, then includes the race
+# detector: the data plane is concurrent end to end, so a non-race run alone
+# proves little.
+test: vet lint race
 	$(GO) test ./...
 
 race:
@@ -40,6 +41,18 @@ fuzz:
 
 vet:
 	gofmt -l . && $(GO) vet ./...
+
+# Static analysis beyond go vet. The repo is stdlib-only, so the linters are
+# optional tooling: staticcheck when installed, else golangci-lint (config in
+# .golangci.yml), else a no-op with a note — go vet already ran via `vet`.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	elif command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "lint: staticcheck/golangci-lint not installed; go vet only"; \
+	fi
 
 clean:
 	$(GO) clean -testcache

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"netcache/internal/client"
 	"netcache/internal/harness"
 	_ "netcache/internal/queuesim" // registers the fig10c-sim latency experiment
 	_ "netcache/internal/topo"     // registers the fig10f scalability model
@@ -32,10 +33,20 @@ func main() {
 	reorder := flag.Float64("reorder", harness.ChaosParams.Reorder, "chaosbench: per-frame reorder probability")
 	corrupt := flag.Float64("corrupt", harness.ChaosParams.Corrupt, "chaosbench: per-frame corruption probability")
 	rebootEvery := flag.Int("reboot-every", harness.ChaosParams.RebootEvery, "chaosbench: switch reboot interval in ops (0 disables)")
+	rtoFloor := flag.Duration("rto-floor", harness.ChaosPolicy.RTOFloor, "chaosbench: adaptive RTO floor (0 = client default)")
+	rtoCeil := flag.Duration("rto-ceil", harness.ChaosPolicy.RTOCeil, "chaosbench: adaptive RTO ceiling (0 = client default)")
+	backoffMax := flag.Int("backoff-max", harness.ChaosPolicy.BackoffMax, "chaosbench: max exponential backoff doublings (0 = client default)")
+	jitterFrac := flag.Float64("jitter-frac", harness.ChaosPolicy.JitterFrac, "chaosbench: RTO jitter fraction (0 = client default, negative disables)")
+	hedge := flag.Bool("hedge", harness.ChaosPolicy.Hedge, "chaosbench: enable hedged reads on the adaptive rows")
+	clientSeed := flag.Uint64("client-seed", harness.ChaosPolicy.Seed, "chaosbench: seed for the clients' retransmission jitter")
 	flag.Parse()
 	harness.ChaosParams = harness.FaultParams{
 		Loss: *loss, Dup: *dup, Reorder: *reorder, Corrupt: *corrupt,
 		RebootEvery: *rebootEvery,
+	}
+	harness.ChaosPolicy = client.Policy{
+		RTOFloor: *rtoFloor, RTOCeil: *rtoCeil, BackoffMax: *backoffMax,
+		JitterFrac: *jitterFrac, Hedge: *hedge, Seed: *clientSeed,
 	}
 
 	if *list {

@@ -39,7 +39,18 @@ func main() {
 	swAddr := flag.String("switch", "127.0.0.1:9000", "switch daemon UDP address")
 	servers := flag.Int("servers", 1, "number of storage servers (addresses 1..N)")
 	myAddr := flag.Int("addr", 0x8001, "this client's rack address (>= 0x8000)")
-	timeout := flag.Duration("timeout", 50*time.Millisecond, "per-attempt reply timeout")
+	timeout := flag.Duration("timeout", 50*time.Millisecond, "per-attempt reply timeout (initial RTO when adaptive)")
+	fixedRTO := flag.Bool("fixed-rto", false, "disable adaptive RTT-estimated retransmission timeouts")
+	hedge := flag.Bool("hedge", false, "hedge reads after the observed P99 reply latency")
+	// Real-UDP deployments share the host (and often a single CPU) with the
+	// switch and server processes, so scheduling noise puts the achievable
+	// RTT well above the in-process simnet floor. A floor below that noise
+	// level locks the estimator into a spurious-retransmit storm: Karn's
+	// rule then only admits the unusually fast replies, which keeps SRTT
+	// biased low (the same survivorship bias that motivates TCP's 1 s
+	// minimum RTO). 5 ms also clears Policy.SpinUnder, so waits park in the
+	// scheduler instead of busy-polling the CPU the servers need.
+	rtoFloor := flag.Duration("rto-floor", 5*time.Millisecond, "minimum adaptive retransmission timeout")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -61,6 +72,7 @@ func main() {
 		Partition: client.HashPartitioner(addrs),
 		Timeout:   *timeout,
 		Retries:   5,
+		Policy:    client.Policy{FixedRTO: *fixedRTO, Hedge: *hedge, RTOFloor: *rtoFloor},
 	})
 	if err != nil {
 		log.Fatalf("netcache-client: %v", err)

@@ -165,6 +165,10 @@ func Run(cfg Config) (*Report, error) {
 		CacheCapacity: cfg.CacheCapacity,
 		ClientTimeout: 2 * time.Millisecond,
 		ClientRetries: 2,
+		// The clients' retransmission jitter draws from the scenario seed
+		// (splitmix64, like every other random decision here), keeping the
+		// whole run a pure function of the seed.
+		ClientPolicy: client.Policy{Seed: cfg.Seed},
 	})
 	if err != nil {
 		return nil, err

@@ -5,14 +5,19 @@
 //
 // Read queries follow the paper's UDP semantics — fire, await, retransmit on
 // timeout (§4.1: SEQ "can be used as a sequence number for reliable
-// transmissions by UDP Get queries"). The client is unaware of the switch
-// cache: a reply served by the switch is indistinguishable from one served
-// by a server, which is exactly the transparency the architecture promises.
+// transmissions by UDP Get queries"). The retransmission timer is adaptive
+// by default: a per-destination Jacobson/Karn RTT estimator derives the RTO,
+// successive timeouts back off exponentially with deterministic seeded
+// jitter, and an optional hedged-read mode races a duplicate Get against the
+// tail (see rto.go and Policy). The client is unaware of the switch cache: a
+// reply served by the switch is indistinguishable from one served by a
+// server, which is exactly the transparency the architecture promises.
 package client
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,17 +30,35 @@ import (
 // owns it (the client-side view of hash partitioning, §3).
 type Partitioner func(key netproto.Key) netproto.Addr
 
+// Explicit-zero sentinels. The zero value of Config keeps the historical
+// defaults (Timeout 10ms, Retries 3), so a literal 0 cannot also mean
+// "zero"; these negative sentinels request an actual zero.
+const (
+	// NoRetries requests exactly zero retransmissions: one attempt, then
+	// ErrTimeout. Any negative Retries normalizes the same way.
+	NoRetries = -1
+	// NoWait requests a zero per-attempt timeout: only a reply already
+	// buffered when the send returns (a synchronous fabric) is accepted.
+	// Any negative Timeout normalizes the same way.
+	NoWait time.Duration = -1
+)
+
 // Config tunes a client.
 type Config struct {
 	// Addr is the client's rack address.
 	Addr netproto.Addr
 	// Partition routes keys to server addresses.
 	Partition Partitioner
-	// Timeout is the per-attempt reply timeout. Zero means 10ms.
+	// Timeout is the per-attempt reply timeout in FixedRTO mode, and the
+	// initial RTO (before the first sample) in adaptive mode. Zero means
+	// 10ms; NoWait (any negative) means an explicit zero.
 	Timeout time.Duration
 	// Retries is the number of retransmissions after the first attempt.
-	// Zero means 3.
+	// Zero means 3; NoRetries (any negative) means an explicit zero.
 	Retries int
+	// Policy tunes the adaptive retransmission path (RTT-estimated RTO,
+	// backoff, jitter, hedged reads). The zero value adapts with defaults.
+	Policy Policy
 }
 
 // Metrics counts client activity.
@@ -43,6 +66,23 @@ type Metrics struct {
 	Sent       stats.Counter
 	Retransmit stats.Counter
 	Timeouts   stats.Counter
+	// Hedges counts hedged-read duplicates (not retransmissions: they fire
+	// before the RTO, on the P99 hedge delay).
+	Hedges stats.Counter
+	// DroppedFrames counts frames Receive discarded before matching: frame
+	// decode failures, packet decode failures, and non-reply opcodes — the
+	// client-side mirror of the switch's Corrupted counter.
+	DroppedFrames stats.Counter
+	// Unmatched counts well-formed replies with no pending query to claim
+	// them: late duplicates, replies to abandoned queries, or spurious
+	// traffic. Nonzero under chaos is normal; growth on a clean fabric is
+	// a bug.
+	Unmatched stats.Counter
+	// RTTSamples counts clean (Karn-admissible) samples fed to the
+	// estimators; KarnSkipped counts replies whose RTT was discarded as
+	// ambiguous because the attempt had been retransmitted or hedged.
+	RTTSamples  stats.Counter
+	KarnSkipped stats.Counter
 }
 
 // Client issues NetCache queries over a frame transport. Safe for
@@ -54,6 +94,14 @@ type Client struct {
 	seq     atomic.Uint64
 	mu      sync.Mutex
 	pending map[uint64]chan netproto.Packet
+
+	// est holds one RTT estimator per destination server.
+	estMu sync.Mutex
+	est   map[netproto.Addr]*rtoEstimator
+
+	// jitterCtr is the client's splitmix64 jitter stream: seeded, lock-free,
+	// independent of the clock and of math/rand, so seeded runs replay.
+	jitterCtr atomic.Uint64
 
 	// Metrics is exported for harnesses and tests.
 	Metrics Metrics
@@ -70,13 +118,113 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Partition == nil {
 		return nil, fmt.Errorf("client: config needs a partitioner")
 	}
-	if cfg.Timeout <= 0 {
+	switch {
+	case cfg.Timeout < 0: // NoWait: an explicit zero
+		cfg.Timeout = 0
+	case cfg.Timeout == 0:
 		cfg.Timeout = 10 * time.Millisecond
 	}
-	if cfg.Retries <= 0 {
+	switch {
+	case cfg.Retries < 0: // NoRetries: an explicit zero
+		cfg.Retries = 0
+	case cfg.Retries == 0:
 		cfg.Retries = 3
 	}
-	return &Client{cfg: cfg, pending: make(map[uint64]chan netproto.Packet)}, nil
+	cfg.Policy = cfg.Policy.normalize(cfg.Timeout)
+	c := &Client{
+		cfg:     cfg,
+		pending: make(map[uint64]chan netproto.Packet),
+		est:     make(map[netproto.Addr]*rtoEstimator),
+	}
+	// Distinct clients sharing a harness seed draw distinct jitter streams.
+	c.jitterCtr.Store(cfg.Policy.Seed ^ uint64(cfg.Addr)*0x9E3779B97F4A7C15)
+	return c, nil
+}
+
+// estimatorFor returns (creating on first use) the estimator for dst.
+func (c *Client) estimatorFor(dst netproto.Addr) *rtoEstimator {
+	c.estMu.Lock()
+	defer c.estMu.Unlock()
+	e, ok := c.est[dst]
+	if !ok {
+		e = newEstimator(c.cfg.Timeout, c.cfg.Policy)
+		c.est[dst] = e
+	}
+	return e
+}
+
+// Estimator returns a snapshot of the RTT estimator state toward dst (the
+// zero snapshot if the client has never sent there).
+func (c *Client) Estimator(dst netproto.Addr) EstimatorState {
+	c.estMu.Lock()
+	e, ok := c.est[dst]
+	c.estMu.Unlock()
+	if !ok {
+		return EstimatorState{}
+	}
+	return e.snapshot()
+}
+
+// waitReply waits up to wait for a reply on ch. Waits under the policy's
+// SpinUnder threshold poll in a Gosched-yielding loop — a parked timer's
+// wakeup latency (~1ms on stock kernels) would otherwise quantize every
+// sub-millisecond RTO up to the millisecond scale, erasing exactly the
+// gap the estimator exists to close. Longer waits park on a fresh timer
+// per attempt: reusing one timer across attempts with stop-drain-reset
+// races the runtime's expiry send — Stop can return false while the send
+// is still in flight, the drain select finds the channel empty, and the
+// stale expiry then lands after Reset, firing the next wait instantly and
+// causing a spurious early retransmit or timeout.
+func (c *Client) waitReply(ch chan netproto.Packet, wait time.Duration) (netproto.Packet, bool) {
+	if wait <= 0 {
+		select {
+		case reply := <-ch:
+			return reply, true
+		default:
+			return netproto.Packet{}, false
+		}
+	}
+	if wait < c.cfg.Policy.SpinUnder {
+		deadline := time.Now().Add(wait)
+		for {
+			select {
+			case reply := <-ch:
+				return reply, true
+			default:
+			}
+			if time.Now().After(deadline) {
+				return netproto.Packet{}, false
+			}
+			runtime.Gosched()
+		}
+	}
+	timer := time.NewTimer(wait)
+	select {
+	case reply := <-ch:
+		timer.Stop()
+		return reply, true
+	case <-timer.C:
+		return netproto.Packet{}, false
+	}
+}
+
+// jitter draws a deterministic pseudo-random duration in [0, frac*base).
+func (c *Client) jitter(base time.Duration) time.Duration {
+	frac := c.cfg.Policy.JitterFrac
+	if frac <= 0 || base <= 0 {
+		return 0
+	}
+	span := time.Duration(float64(base) * frac)
+	if span <= 0 {
+		return 0
+	}
+	x := c.jitterCtr.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return time.Duration(x % uint64(span))
 }
 
 // Addr returns the client's rack address.
@@ -85,14 +233,20 @@ func (c *Client) Addr() netproto.Addr { return c.cfg.Addr }
 // SetSend installs the transmit function (frames leave toward the switch).
 func (c *Client) SetSend(fn func(frame []byte)) { c.send = fn }
 
-// Receive handles one frame delivered to the client's port.
+// Receive handles one frame delivered to the client's port. Nothing is
+// discarded silently: undecodable frames and non-reply packets count as
+// DroppedFrames, replies that match no pending query as Unmatched — the
+// counters chaos debugging needs to tell "the fabric ate it" from "the
+// client ignored it".
 func (c *Client) Receive(frame []byte) {
 	fr, err := netproto.DecodeFrame(frame)
 	if err != nil {
+		c.Metrics.DroppedFrames.Inc()
 		return
 	}
 	var pkt netproto.Packet
 	if netproto.Decode(fr.Payload, &pkt) != nil || !pkt.Op.IsReply() {
+		c.Metrics.DroppedFrames.Inc()
 		return
 	}
 	// Copy the value out of the transport buffer before handing off.
@@ -105,16 +259,22 @@ func (c *Client) Receive(frame []byte) {
 		delete(c.pending, pkt.Seq)
 	}
 	c.mu.Unlock()
-	if ok {
-		// Non-blocking: the channel holds one reply and roundTrip
-		// consumes exactly one. A duplicate (a retransmission answered
-		// twice) racing a timer-driven re-registration could otherwise
-		// block this goroutine — fatal on a synchronous fabric, where
-		// Receive runs inside the sender's own call stack.
-		select {
-		case ch <- pkt:
-		default:
-		}
+	if !ok {
+		c.Metrics.Unmatched.Inc()
+		return
+	}
+	// Non-blocking: the channel holds one reply and roundTrip
+	// consumes exactly one. A duplicate (a retransmission answered
+	// twice) racing a timer-driven re-registration could otherwise
+	// block this goroutine — fatal on a synchronous fabric, where
+	// Receive runs inside the sender's own call stack.
+	select {
+	case ch <- pkt:
+	default:
+		// The reply slot is already full: this is a duplicate racing the
+		// buffered one, functionally identical to arriving after the
+		// pending entry was reaped.
+		c.Metrics.Unmatched.Inc()
 	}
 }
 
@@ -149,6 +309,13 @@ func (c *Client) Delete(key netproto.Key) error {
 
 // roundTrip sends the query and awaits the matching reply, retransmitting
 // per the configured policy.
+//
+// Accounting contract (the chaosbench retransmit ratio depends on it):
+// Sent counts every frame transmitted — first attempts, retransmissions and
+// hedges — so first attempts == Sent - Retransmit - Hedges. Each
+// intermediate expiry increments Retransmit exactly once (when the
+// retransmission goes out), and a query that fails increments Timeouts
+// exactly once, on the final attempt's expiry.
 func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 	seq := c.seq.Add(1)
 	pkt.Seq = seq
@@ -169,40 +336,76 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		c.mu.Unlock()
 	}()
 
+	adaptive := !c.cfg.Policy.FixedRTO
+	est := c.estimatorFor(dst)
+	hedged := false
+	// sample records the reply RTT under Karn's rule: only a reply to an
+	// attempt that was never retransmitted or hedged is unambiguous.
+	sample := func(attempt int, start time.Time) {
+		if !adaptive {
+			return
+		}
+		if attempt > 0 || hedged {
+			c.Metrics.KarnSkipped.Inc()
+			return
+		}
+		est.Observe(time.Since(start))
+		c.Metrics.RTTSamples.Inc()
+	}
+
 	for attempt := 0; ; attempt++ {
 		c.Metrics.Sent.Inc()
 		if attempt > 0 {
 			c.Metrics.Retransmit.Inc()
 		}
+		start := time.Now()
 		c.send(frame)
 		// The fabric may deliver synchronously, in which case the
 		// reply is already buffered.
 		select {
 		case reply := <-ch:
+			sample(attempt, start)
 			return reply, nil
 		default:
 		}
-		// A fresh timer per attempt: reusing one timer across attempts
-		// with stop-drain-reset races the runtime's expiry send — Stop
-		// can return false while the send is still in flight, the drain
-		// select finds the channel empty, and the stale expiry then lands
-		// after Reset, firing the next wait instantly and causing a
-		// spurious early retransmit or timeout.
-		timer := time.NewTimer(c.cfg.Timeout)
-		select {
-		case reply := <-ch:
-			timer.Stop()
-			return reply, nil
-		case <-timer.C:
-			if attempt >= c.cfg.Retries {
-				c.Metrics.Timeouts.Inc()
-				return netproto.Packet{}, ErrTimeout
-			}
-			// Re-register: Receive may have raced the delete.
-			c.mu.Lock()
-			c.pending[seq] = ch
-			c.mu.Unlock()
+		wait := c.cfg.Timeout
+		if adaptive {
+			rto := est.RTO()
+			wait = rto + c.jitter(rto)
 		}
+		// Hedged read: instead of waiting out the whole RTO, a first-attempt
+		// Get fires a second copy after the observed P99 reply latency. The
+		// duplicate is idempotent; whichever reply lands first wins, and the
+		// replica reply is absorbed as Unmatched.
+		if adaptive && c.cfg.Policy.Hedge && attempt == 0 && !hedged &&
+			pkt.Op == netproto.OpGet {
+			if hd := est.HedgeDelay(); hd > 0 && hd < wait {
+				if reply, ok := c.waitReply(ch, hd); ok {
+					sample(attempt, start)
+					return reply, nil
+				}
+				hedged = true
+				c.Metrics.Sent.Inc()
+				c.Metrics.Hedges.Inc()
+				c.send(frame)
+				wait -= hd
+			}
+		}
+		if reply, ok := c.waitReply(ch, wait); ok {
+			sample(attempt, start)
+			return reply, nil
+		}
+		if adaptive {
+			est.TimedOut()
+		}
+		if attempt >= c.cfg.Retries {
+			c.Metrics.Timeouts.Inc()
+			return netproto.Packet{}, ErrTimeout
+		}
+		// Re-register: Receive may have raced the delete.
+		c.mu.Lock()
+		c.pending[seq] = ch
+		c.mu.Unlock()
 	}
 }
 

@@ -21,7 +21,8 @@ type echoServer struct {
 	cli     *Client
 	mu      sync.Mutex
 	store   map[netproto.Key][]byte
-	dropN   int // drop the next N requests (loss injection)
+	dropN   int  // drop the next N requests (loss injection)
+	dupNext bool // answer the next request twice (duplication injection)
 	lastDst netproto.Addr
 }
 
@@ -71,10 +72,15 @@ func (s *echoServer) handle(frame []byte) {
 		delete(s.store, pkt.Key)
 		found = true
 	}
+	dup := s.dupNext
+	s.dupNext = false
 	s.mu.Unlock()
 	reply := netproto.Reply(&pkt, value, found)
 	payload, _ := reply.Marshal()
 	s.cli.Receive(netproto.MarshalFrame(fr.Src, fr.Dst, payload))
+	if dup {
+		s.cli.Receive(netproto.MarshalFrame(fr.Src, fr.Dst, payload))
+	}
 }
 
 func TestNewValidation(t *testing.T) {

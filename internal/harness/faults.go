@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"netcache/internal/client"
 	"netcache/internal/netproto"
 	"netcache/internal/rack"
 	"netcache/internal/simnet"
@@ -32,11 +33,18 @@ func (p FaultParams) faulty() bool {
 // to the clean baseline. Overridden by the netcache-bench flags.
 var ChaosParams = FaultParams{Loss: 0.01, Dup: 0.05, Reorder: 0.10, Corrupt: 0.01, RebootEvery: 5000}
 
+// ChaosPolicy is the client retransmission policy chaosbench uses for its
+// adaptive rows (the fixed-RTO row forces Policy.FixedRTO on top of it).
+// Overridden by the netcache-bench flags.
+var ChaosPolicy = client.Policy{Seed: 1}
+
 // ChaosBench measures what fault injection costs the packet-level rack in
 // throughput terms: the same Zipf read/write workload is driven through a
 // clean fabric and through one injecting the configured fault mix, with
-// periodic switch reboots. Not a paper figure — the paper asserts
-// availability under failures (§6) without measuring it.
+// periodic switch reboots — once with the legacy fixed-RTO client and once
+// with the adaptive (RTT-estimated RTO + backoff) client, so the table
+// shows what the estimator buys back. Not a paper figure — the paper
+// asserts availability under failures (§6) without measuring it.
 func ChaosBench(quick bool) (*Table, error) {
 	ops := 40000
 	if quick {
@@ -44,23 +52,39 @@ func ChaosBench(quick bool) (*Table, error) {
 	}
 	t := &Table{
 		ID: "chaosbench", Title: "packet-level rack throughput under fault injection (4 servers, 2 clients, zipf-0.95 reads, 10% writes)",
-		Columns: []string{"loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
+		Columns: []string{"adaptive", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
 		Notes: []string{
 			"rates are per-frame fault probabilities on server downlinks and client uplinks;",
+			"adaptive=0 waits a fixed 2ms per attempt, adaptive=1 uses the RTT-estimated RTO with backoff;",
 			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op",
 		},
 	}
-	for _, p := range []FaultParams{{}, ChaosParams} {
-		kops, timeoutPct, retxPct, reboots, err := runChaosBench(p, ops)
+	fixed := ChaosPolicy
+	fixed.FixedRTO = true
+	rows := []struct {
+		p      FaultParams
+		policy client.Policy
+	}{
+		{FaultParams{}, ChaosPolicy},
+		{ChaosParams, fixed},
+		{ChaosParams, ChaosPolicy},
+	}
+	for _, row := range rows {
+		kops, timeoutPct, retxPct, reboots, err := runChaosBench(row.p, ops, row.policy)
 		if err != nil {
 			return nil, err
 		}
-		t.Add(p.Loss, p.Dup, p.Reorder, p.Corrupt, float64(reboots), kops, timeoutPct, retxPct)
+		adaptive := 1.0
+		if row.policy.FixedRTO {
+			adaptive = 0
+		}
+		t.Add(adaptive, row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
+			float64(reboots), kops, timeoutPct, retxPct)
 	}
 	return t, nil
 }
 
-func runChaosBench(p FaultParams, totalOps int) (kops, timeoutPct, retxPct float64, reboots int, err error) {
+func runChaosBench(p FaultParams, totalOps int, policy client.Policy) (kops, timeoutPct, retxPct float64, reboots int, err error) {
 	const (
 		servers = 4
 		clients = 2
@@ -70,6 +94,7 @@ func runChaosBench(p FaultParams, totalOps int) (kops, timeoutPct, retxPct float
 	r, err := rack.New(rack.Config{
 		Servers: servers, Clients: clients, CacheCapacity: cached,
 		ClientTimeout: 2 * time.Millisecond, ClientRetries: 2,
+		ClientPolicy: policy,
 	})
 	if err != nil {
 		return 0, 0, 0, 0, err
@@ -148,13 +173,14 @@ func runChaosBench(p FaultParams, totalOps int) (kops, timeoutPct, retxPct float
 	}
 	elapsed := time.Since(start).Seconds()
 
-	var sent, retx, timeouts uint64
+	var sent, retx, timeouts, hedges uint64
 	for _, cl := range r.Clients {
 		sent += cl.Metrics.Sent.Value()
 		retx += cl.Metrics.Retransmit.Value()
 		timeouts += cl.Metrics.Timeouts.Value()
+		hedges += cl.Metrics.Hedges.Value()
 	}
-	opsDone := float64(sent - retx) // first attempts == ops issued
+	opsDone := float64(sent - retx - hedges) // first attempts == ops issued
 	kops = opsDone / elapsed / 1e3
 	timeoutPct = 100 * float64(timeouts) / opsDone
 	retxPct = 100 * float64(retx) / opsDone

@@ -49,8 +49,14 @@ type Config struct {
 	// so timed-out queries don't dominate wall-clock time.
 	ClientTimeout time.Duration
 	// ClientRetries overrides the clients' retransmission budget; zero
-	// keeps the client default.
+	// keeps the client default (client.NoRetries requests zero).
 	ClientRetries int
+	// ClientPolicy tunes the clients' adaptive retransmission path (RTO
+	// estimation, backoff, jitter, hedged reads). The zero value adapts
+	// with the client defaults; each client's jitter stream is derived
+	// from Policy.Seed and its own address, so a seeded rack is
+	// reproducible.
+	ClientPolicy client.Policy
 }
 
 // Addressing: servers get addresses [1, Servers], clients
@@ -151,6 +157,7 @@ func New(cfg Config) (*Rack, error) {
 		cl, err := client.New(client.Config{
 			Addr: addr, Partition: r.Partition,
 			Timeout: cfg.ClientTimeout, Retries: cfg.ClientRetries,
+			Policy: cfg.ClientPolicy,
 		})
 		if err != nil {
 			return nil, err

@@ -575,3 +575,34 @@ func TestModelBasedSequentialOps(t *testing.T) {
 		t.Error("the sequence should have driven cache installs")
 	}
 }
+
+// ClientPolicy reaches every client: an adaptive rack's clients collect RTT
+// samples toward the servers they query, a FixedRTO rack's clients none.
+func TestClientPolicyPlumbing(t *testing.T) {
+	for _, fixed := range []bool{false, true} {
+		r, err := New(Config{
+			Servers: 2, Clients: 2, CacheCapacity: 8,
+			ClientPolicy: client.Policy{FixedRTO: fixed, Seed: 9},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.LoadDataset(32, 16)
+		var samples uint64
+		for i := 0; i < 2; i++ {
+			cli := r.Client(i)
+			for id := 0; id < 32; id++ {
+				if _, err := cli.Get(workload.KeyName(id)); err != nil {
+					t.Fatalf("fixed=%v get %d: %v", fixed, id, err)
+				}
+			}
+			samples += cli.Metrics.RTTSamples.Value()
+		}
+		if fixed && samples != 0 {
+			t.Errorf("FixedRTO rack collected %d RTT samples, want 0", samples)
+		}
+		if !fixed && samples == 0 {
+			t.Error("adaptive rack collected no RTT samples")
+		}
+	}
+}

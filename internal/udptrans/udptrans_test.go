@@ -66,6 +66,12 @@ func deploy(t *testing.T, nServers int, cycle time.Duration) *deployment {
 		Partition: client.HashPartitioner(addrs),
 		Timeout:   100 * time.Millisecond,
 		Retries:   5,
+		// These deployment tests assert wall-clock patience windows (e.g.
+		// a Put outlasting a 300ms §4.3 write-block) rather than loss
+		// recovery, so they pin the fixed 100ms-per-attempt timing; the
+		// adaptive estimator would retransmit at loopback RTT scale and
+		// exhaust the retry budget in milliseconds.
+		Policy: client.Policy{FixedRTO: true},
 	})
 	if err != nil {
 		t.Fatal(err)
