@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench chaos experiments examples fuzz vet lint clean
+.PHONY: all test race bench bench-json chaos experiments examples fuzz profile vet lint clean
 
 all: test
 
@@ -25,9 +25,25 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# The packet-path benchmark suite as machine-readable JSON (ns/op, B/op,
+# allocs/op, derived kops/s per benchmark) — the regression record behind
+# EXPERIMENTS.md's "Zero-allocation batched packet path" section.
+bench-json:
+	$(GO) test -run xxx -benchmem \
+		-bench 'BenchmarkPipelineSequential|BenchmarkPipelineParallel|BenchmarkEndToEndCachedGet|BenchmarkEndToEndServerGet|BenchmarkRackParallelGet|BenchmarkRackPipelinedGet' \
+		. | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	@cat BENCH_pipeline.json
+
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:
 	$(GO) run ./cmd/netcache-bench
+
+# Profile the packet-level rack under chaosbench load (see EXPERIMENTS.md,
+# "Profiling the packet path", for reading the result).
+profile:
+	$(GO) run ./cmd/netcache-bench -exp chaosbench -quick \
+		-cpuprofile cpu.pprof -memprofile mem.pprof -mutexprofile mutex.pprof
+	@echo "wrote cpu.pprof mem.pprof mutex.pprof — inspect with: go tool pprof -top cpu.pprof"
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -1,0 +1,98 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin into
+// a JSON array on stdout, one object per benchmark result:
+//
+//	go test -bench 'Pipeline' -benchmem . | go run ./cmd/benchjson > BENCH.json
+//
+// Each object carries the benchmark name (goroutine-count suffix stripped
+// into its own field), ns/op, B/op, allocs/op, and a derived kops_s
+// (1e6/ns_op): the operation rate in thousands per second, comparable across
+// the sequential and parallel variants. Lines that are not benchmark results
+// (headers, PASS, custom metrics) are ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name  string  `json:"name"`
+	Procs int     `json:"procs,omitempty"` // -cpu suffix, 0 when absent
+	Iters int64   `json:"iterations"`
+	NsOp  float64 `json:"ns_op"`
+	// B/op and allocs/op stay present when zero — zero is the result the
+	// pooled path is asserting, not a missing datum.
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+	KopsS    float64 `json:"kops_s"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one `Benchmark...  N  X ns/op  [Y B/op  Z allocs/op] ...`
+// line; ok is false for anything else.
+func parseLine(line string) (result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return result{}, false
+	}
+	r := result{Name: f[0]}
+	// BenchmarkFoo-8 ran with GOMAXPROCS (or -cpu) 8.
+	if i := strings.LastIndexByte(r.Name, '-'); i >= 0 {
+		if p, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+			r.Name, r.Procs = r.Name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r.Iters = iters
+	// The remaining fields come in value-unit pairs.
+	seen := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsOp, seen = v, true
+		case "B/op":
+			r.BOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		}
+	}
+	if !seen {
+		return result{}, false
+	}
+	if r.NsOp > 0 {
+		r.KopsS = 1e6 / r.NsOp
+	}
+	return r, true
+}

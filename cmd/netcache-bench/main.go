@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"netcache/internal/client"
@@ -39,6 +41,10 @@ func main() {
 	jitterFrac := flag.Float64("jitter-frac", harness.ChaosPolicy.JitterFrac, "chaosbench: RTO jitter fraction (0 = client default, negative disables)")
 	hedge := flag.Bool("hedge", harness.ChaosPolicy.Hedge, "chaosbench: enable hedged reads on the adaptive rows")
 	clientSeed := flag.Uint64("client-seed", harness.ChaosPolicy.Seed, "chaosbench: seed for the clients' retransmission jitter")
+	window := flag.Int("window", harness.ChaosWindow, "chaosbench: pipelining depth of the batched rows (1 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
 	flag.Parse()
 	harness.ChaosParams = harness.FaultParams{
 		Loss: *loss, Dup: *dup, Reorder: *reorder, Corrupt: *corrupt,
@@ -47,6 +53,44 @@ func main() {
 	harness.ChaosPolicy = client.Policy{
 		RTOFloor: *rtoFloor, RTOCeil: *rtoCeil, BackoffMax: *backoffMax,
 		JitterFrac: *jitterFrac, Hedge: *hedge, Seed: *clientSeed,
+	}
+	harness.ChaosWindow = *window
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			f, err := os.Create(*mutexProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			pprof.Lookup("mutex").WriteTo(f, 0)
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush the final allocations into the profile
+			pprof.Lookup("allocs").WriteTo(f, 0)
+		}()
 	}
 
 	if *list {

@@ -51,6 +51,7 @@ func main() {
 	// minimum RTO). 5 ms also clears Policy.SpinUnder, so waits park in the
 	// scheduler instead of busy-polling the CPU the servers need.
 	rtoFloor := flag.Duration("rto-floor", 5*time.Millisecond, "minimum adaptive retransmission timeout")
+	window := flag.Int("window", 1, "pipelining depth: reads issued through GetBatch with this many outstanding (bench subcommand; 1 = one at a time)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -73,11 +74,14 @@ func main() {
 		Timeout:   *timeout,
 		Retries:   5,
 		Policy:    client.Policy{FixedRTO: *fixedRTO, Hedge: *hedge, RTOFloor: *rtoFloor},
+		Window:    *window,
 	})
 	if err != nil {
 		log.Fatalf("netcache-client: %v", err)
 	}
 	cli.SetSend(ep.Send)
+	// Batched bursts coalesce into batch datagrams on the wire.
+	cli.SetSendBatch(ep.SendBatch)
 	// The reply reader is started per command: data commands feed the
 	// client library; stats feeds its own matcher (one reader per socket).
 	startClient := func() { go ep.Run(cli.Receive) }
@@ -105,7 +109,7 @@ func main() {
 		}
 	case "bench":
 		startClient()
-		bench(cli, ep, args[1:])
+		bench(cli, ep, *window, args[1:])
 	case "replay":
 		startClient()
 		replay(cli, args[1:])
@@ -128,8 +132,9 @@ func usage() {
 }
 
 // bench drives a Zipf read/write mix and reports latency and the switch's
-// share of the replies.
-func bench(cli *client.Client, ep *udptrans.Endpoint, args []string) {
+// share of the replies. With -window > 1, reads accumulate into GetBatch
+// windows (writes flush the pending window first, preserving order).
+func bench(cli *client.Client, ep *udptrans.Endpoint, window int, args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	n := fs.Int("n", 10000, "queries to send")
 	keys := fs.Int("keys", 10000, "keyspace size (dataset ids)")
@@ -156,19 +161,7 @@ func bench(cli *client.Client, ep *udptrans.Endpoint, args []string) {
 	}
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	var ok, misses, errs int
-	start := time.Now()
-	for i := 0; i < *n; i++ {
-		id := zipf.SampleRank(rng)
-		q := workload.Query{Key: id, Write: *writes > 0 && rng.Float64() < *writes}
-		if tw != nil {
-			tw.Append(q)
-		}
-		key := workload.KeyName(id)
-		if q.Write {
-			err = cli.Put(key, workload.ValueFor(id, 64))
-		} else {
-			_, err = cli.Get(key)
-		}
+	count := func(err error) {
 		switch err {
 		case nil:
 			ok++
@@ -178,6 +171,42 @@ func bench(cli *client.Client, ep *udptrans.Endpoint, args []string) {
 			errs++
 		}
 	}
+	var batch []netproto.Key
+	if window > 1 {
+		batch = make([]netproto.Key, 0, window)
+	}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		_, batchErrs := cli.GetBatch(batch)
+		for _, err := range batchErrs {
+			count(err)
+		}
+		batch = batch[:0]
+	}
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		id := zipf.SampleRank(rng)
+		q := workload.Query{Key: id, Write: *writes > 0 && rng.Float64() < *writes}
+		if tw != nil {
+			tw.Append(q)
+		}
+		key := workload.KeyName(id)
+		switch {
+		case q.Write:
+			flush()
+			count(cli.Put(key, workload.ValueFor(id, 64)))
+		case window > 1:
+			if batch = append(batch, key); len(batch) == window {
+				flush()
+			}
+		default:
+			_, err = cli.Get(key)
+			count(err)
+		}
+	}
+	flush()
 	el := time.Since(start)
 	fmt.Printf("bench: %d queries in %v (%.0f qps), %d ok, %d not-found, %d errors\n",
 		*n, el.Round(time.Millisecond), float64(*n)/el.Seconds(), ok, misses, errs)

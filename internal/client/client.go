@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netcache/internal/bufpool"
 	"netcache/internal/netproto"
 	"netcache/internal/stats"
 )
@@ -59,6 +60,9 @@ type Config struct {
 	// Policy tunes the adaptive retransmission path (RTT-estimated RTO,
 	// backoff, jitter, hedged reads). The zero value adapts with defaults.
 	Policy Policy
+	// Window is the closed-loop depth of GetBatch/GetMulti: how many
+	// requests the client keeps outstanding at once. Zero means 32.
+	Window int
 }
 
 // Metrics counts client activity.
@@ -88,8 +92,9 @@ type Metrics struct {
 // Client issues NetCache queries over a frame transport. Safe for
 // concurrent use.
 type Client struct {
-	cfg  Config
-	send func(frame []byte)
+	cfg       Config
+	send      func(frame []byte)
+	sendBatch func(frames [][]byte)
 
 	seq     atomic.Uint64
 	mu      sync.Mutex
@@ -131,6 +136,9 @@ func New(cfg Config) (*Client, error) {
 		cfg.Retries = 3
 	}
 	cfg.Policy = cfg.Policy.normalize(cfg.Timeout)
+	if cfg.Window <= 0 {
+		cfg.Window = 32
+	}
 	c := &Client{
 		cfg:     cfg,
 		pending: make(map[uint64]chan netproto.Packet),
@@ -233,6 +241,13 @@ func (c *Client) Addr() netproto.Addr { return c.cfg.Addr }
 // SetSend installs the transmit function (frames leave toward the switch).
 func (c *Client) SetSend(fn func(frame []byte)) { c.send = fn }
 
+// SetSendBatch installs an optional vectorized transmit function. When
+// present, GetBatch issues each window of requests through it as one burst
+// (one fabric wakeup / one datagram batch for N frames); retransmissions
+// still go through the per-frame send path. Like SetSend's fn, it must not
+// retain the frames after returning.
+func (c *Client) SetSendBatch(fn func(frames [][]byte)) { c.sendBatch = fn }
+
 // Receive handles one frame delivered to the client's port. Nothing is
 // discarded silently: undecodable frames and non-reply packets count as
 // DroppedFrames, replies that match no pending query as Unmatched — the
@@ -307,37 +322,76 @@ func (c *Client) Delete(key netproto.Key) error {
 	return err
 }
 
+// call is one in-flight query: its sequence number, destination, the
+// encoded request frame (a pooled buffer, reused verbatim by every
+// retransmission and hedge), and the reply channel registered in pending.
+type call struct {
+	seq   uint64
+	dst   netproto.Addr
+	op    netproto.Op
+	frame []byte
+	ch    chan netproto.Packet
+}
+
+// prepare assigns a sequence number, encodes the request into a pooled
+// frame, and registers the reply channel — everything up to (but not
+// including) the first transmission. Every successful prepare must be paired
+// with exactly one await, which unregisters and releases.
+func (c *Client) prepare(pkt netproto.Packet, cl *call) error {
+	seq := c.seq.Add(1)
+	pkt.Seq = seq
+	dst := c.cfg.Partition(pkt.Key)
+	frame := bufpool.Get()
+	frame, err := netproto.AppendFramePacket(frame, dst, c.cfg.Addr, &pkt)
+	if err != nil {
+		bufpool.Put(frame)
+		return err
+	}
+	cl.seq = seq
+	cl.dst = dst
+	cl.op = pkt.Op
+	cl.frame = frame
+	cl.ch = make(chan netproto.Packet, 1)
+	c.mu.Lock()
+	c.pending[seq] = cl.ch
+	c.mu.Unlock()
+	return nil
+}
+
 // roundTrip sends the query and awaits the matching reply, retransmitting
 // per the configured policy.
+func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
+	var cl call
+	if err := c.prepare(pkt, &cl); err != nil {
+		return netproto.Packet{}, err
+	}
+	return c.await(&cl, false)
+}
+
+// await drives one prepared call to completion: transmit (unless preSent
+// says the first copy already left in a batch), wait, retransmit, and on
+// return unregister the pending entry and release the request frame. The
+// release is safe because no transmit path retains a sent frame: the simnet
+// fabric and the switch copy what they keep before Inject returns, and the
+// UDP endpoint hands the bytes to the kernel.
 //
 // Accounting contract (the chaosbench retransmit ratio depends on it):
 // Sent counts every frame transmitted — first attempts, retransmissions and
 // hedges — so first attempts == Sent - Retransmit - Hedges. Each
 // intermediate expiry increments Retransmit exactly once (when the
 // retransmission goes out), and a query that fails increments Timeouts
-// exactly once, on the final attempt's expiry.
-func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
-	seq := c.seq.Add(1)
-	pkt.Seq = seq
-	payload, err := pkt.Marshal()
-	if err != nil {
-		return netproto.Packet{}, err
-	}
-	dst := c.cfg.Partition(pkt.Key)
-	frame := netproto.MarshalFrame(dst, c.cfg.Addr, payload)
-
-	ch := make(chan netproto.Packet, 1)
-	c.mu.Lock()
-	c.pending[seq] = ch
-	c.mu.Unlock()
+// exactly once, on the final attempt's expiry. Batched first attempts are
+// counted by GetBatch at the moment the burst goes out.
+func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 	defer func() {
 		c.mu.Lock()
-		delete(c.pending, seq)
+		delete(c.pending, cl.seq)
 		c.mu.Unlock()
+		bufpool.Put(cl.frame)
 	}()
 
 	adaptive := !c.cfg.Policy.FixedRTO
-	est := c.estimatorFor(dst)
+	est := c.estimatorFor(cl.dst)
 	hedged := false
 	// sample records the reply RTT under Karn's rule: only a reply to an
 	// attempt that was never retransmitted or hedged is unambiguous.
@@ -353,13 +407,16 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		c.Metrics.RTTSamples.Inc()
 	}
 
+	ch := cl.ch
 	for attempt := 0; ; attempt++ {
-		c.Metrics.Sent.Inc()
-		if attempt > 0 {
-			c.Metrics.Retransmit.Inc()
-		}
 		start := time.Now()
-		c.send(frame)
+		if attempt > 0 || !preSent {
+			c.Metrics.Sent.Inc()
+			if attempt > 0 {
+				c.Metrics.Retransmit.Inc()
+			}
+			c.send(cl.frame)
+		}
 		// The fabric may deliver synchronously, in which case the
 		// reply is already buffered.
 		select {
@@ -378,7 +435,7 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		// duplicate is idempotent; whichever reply lands first wins, and the
 		// replica reply is absorbed as Unmatched.
 		if adaptive && c.cfg.Policy.Hedge && attempt == 0 && !hedged &&
-			pkt.Op == netproto.OpGet {
+			cl.op == netproto.OpGet {
 			if hd := est.HedgeDelay(); hd > 0 && hd < wait {
 				if reply, ok := c.waitReply(ch, hd); ok {
 					sample(attempt, start)
@@ -387,7 +444,7 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 				hedged = true
 				c.Metrics.Sent.Inc()
 				c.Metrics.Hedges.Inc()
-				c.send(frame)
+				c.send(cl.frame)
 				wait -= hd
 			}
 		}
@@ -404,7 +461,7 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 		}
 		// Re-register: Receive may have raced the delete.
 		c.mu.Lock()
-		c.pending[seq] = ch
+		c.pending[cl.seq] = ch
 		c.mu.Unlock()
 	}
 }
@@ -412,24 +469,74 @@ func (c *Client) roundTrip(pkt netproto.Packet) (netproto.Packet, error) {
 // GetMulti fetches several keys concurrently — the fan-out pattern of web
 // workloads ("rendering even a single web page often requires hundreds ...
 // of storage accesses", §1). results[i] and errs[i] correspond to keys[i];
-// absent keys yield ErrNotFound in errs.
+// absent keys yield ErrNotFound in errs. It is GetBatch under its
+// historical name.
 func (c *Client) GetMulti(keys []netproto.Key) (results [][]byte, errs []error) {
+	return c.GetBatch(keys)
+}
+
+// GetBatch fetches several keys with Config.Window requests outstanding at
+// once — the closed-loop depth the paper's throughput figures assume. With a
+// batch sender installed (SetSendBatch), each window is prepared on this
+// goroutine, transmitted as one burst, and then awaited in order:
+// pipelining without a goroutine per request. Otherwise the window is a
+// semaphore over concurrent Gets. results[i] and errs[i] correspond to
+// keys[i]; absent keys yield ErrNotFound in errs.
+func (c *Client) GetBatch(keys []netproto.Key) (results [][]byte, errs []error) {
 	results = make([][]byte, len(keys))
 	errs = make([]error, len(keys))
-	var wg sync.WaitGroup
-	// Bound the fan-out: a rack client has one NIC, not unbounded
-	// parallelism.
-	sem := make(chan struct{}, 32)
-	for i, key := range keys {
-		wg.Add(1)
-		go func(i int, key netproto.Key) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = c.Get(key)
-		}(i, key)
+	w := c.cfg.Window
+
+	if c.sendBatch == nil {
+		var wg sync.WaitGroup
+		// Bound the fan-out: a rack client has one NIC, not unbounded
+		// parallelism.
+		sem := make(chan struct{}, w)
+		for i, key := range keys {
+			wg.Add(1)
+			go func(i int, key netproto.Key) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i], errs[i] = c.Get(key)
+			}(i, key)
+		}
+		wg.Wait()
+		return results, errs
 	}
-	wg.Wait()
+
+	calls := make([]call, w)
+	frames := make([][]byte, 0, w)
+	for base := 0; base < len(keys); base += w {
+		end := min(base+w, len(keys))
+		frames = frames[:0]
+		for i := base; i < end; i++ {
+			cl := &calls[i-base]
+			*cl = call{}
+			if err := c.prepare(netproto.Packet{Op: netproto.OpGet, Key: keys[i]}, cl); err != nil {
+				errs[i] = err
+				continue
+			}
+			frames = append(frames, cl.frame)
+		}
+		c.Metrics.Sent.Add(uint64(len(frames)))
+		c.sendBatch(frames)
+		for i := base; i < end; i++ {
+			cl := &calls[i-base]
+			if cl.ch == nil {
+				continue // prepare failed
+			}
+			reply, err := c.await(cl, true)
+			switch {
+			case err != nil:
+				errs[i] = err
+			case reply.Op == netproto.OpGetReplyMiss:
+				errs[i] = ErrNotFound
+			default:
+				results[i] = reply.Value
+			}
+		}
+	}
 	return results, errs
 }
 

@@ -166,6 +166,7 @@ func (p *Program) TableBuild(spec TableSpec) *Table {
 			st.exact[i] = map[exactKey]*Entry{}
 		}
 	}
+	st.refreshSmall()
 	t.state.Store(st)
 	p.tables = append(p.tables, t)
 	p.tableByName[spec.Name] = t
@@ -229,6 +230,41 @@ type tableState struct {
 	ternary []*Entry              // kept sorted by descending priority
 	def     *Entry                // default action, may be nil
 	count   int                   // installed entries
+
+	// small is the flat linear-scan index of an exact table with at most
+	// smallTableMax entries (nil when the table is larger or ternary).
+	// Most tables on the cached-Get path — op dispatch, routing, the
+	// value-stage preamble — hold a handful of entries at most, and a
+	// comparison scan over an array beats hashing the key and walking a
+	// map bucket for every one of them. Rebuilt by mutators; the data
+	// plane picks whichever index the snapshot carries.
+	small []smallEntry
+}
+
+// smallEntry pairs an exact key with its entry for linear scanning.
+type smallEntry struct {
+	k exactKey
+	e *Entry
+}
+
+// smallTableMax is the entry count up to which an exact table is scanned
+// linearly instead of through its shard maps.
+const smallTableMax = 8
+
+// refreshSmall rebuilds st.small from the shard maps. Call after mutating
+// exact entries, before publishing the state.
+func (st *tableState) refreshSmall() {
+	st.small = nil
+	if st.exact == nil || st.count > smallTableMax {
+		return
+	}
+	small := make([]smallEntry, 0, st.count)
+	for _, shard := range st.exact {
+		for k, e := range shard {
+			small = append(small, smallEntry{k: k, e: e})
+		}
+	}
+	st.small = small
 }
 
 // shardOf hashes an exact key onto a shard.
@@ -253,6 +289,7 @@ func (st *tableState) clone(dirtyShard int) *tableState {
 		}
 	}
 	ns.ternary = st.ternary
+	ns.small = st.small // still valid unless exact entries change (refreshSmall)
 	return ns
 }
 
@@ -356,6 +393,7 @@ func (t *Table) AddEntry(match []uint64, action string, data []uint64) error {
 	if !exists {
 		ns.count++
 	}
+	ns.refreshSmall()
 	t.state.Store(ns)
 	return nil
 }
@@ -379,6 +417,7 @@ func (t *Table) DeleteEntry(match []uint64) (bool, error) {
 	ns := st.clone(sh)
 	delete(ns.exact[sh], k)
 	ns.count--
+	ns.refreshSmall()
 	t.state.Store(ns)
 	return true, nil
 }
@@ -443,6 +482,7 @@ func (t *Table) Reset() {
 			ns.exact[i] = map[exactKey]*Entry{}
 		}
 	}
+	ns.refreshSmall()
 	t.state.Store(ns)
 }
 
@@ -478,7 +518,16 @@ func (t *Table) apply(ctx *Ctx) bool {
 		for i, f := range t.spec.MatchFields {
 			k[i] = ctx.phv[f]
 		}
-		e = st.exact[shardOf(k)][k]
+		if st.small != nil {
+			for i := range st.small {
+				if st.small[i].k == k {
+					e = st.small[i].e
+					break
+				}
+			}
+		} else {
+			e = st.exact[shardOf(k)][k]
+		}
 	case MatchTernary:
 		for _, cand := range st.ternary {
 			ok := true

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"netcache/internal/bufpool"
 )
 
 // Ctx is the per-packet execution context: the PHV (parsed header fields and
@@ -42,6 +44,13 @@ type Ctx struct {
 	// early stage (see switchcore).
 	onComplete []func()
 
+	// locks are deferred mutex releases registered via OnCompleteRUnlock
+	// and OnCompleteUnlock — the allocation-free form of OnComplete for
+	// the per-packet lock hold that is on every cached-Get path (wrapping
+	// mu.RUnlock in a func() would allocate a method-value closure per
+	// packet).
+	locks []lockRelease
+
 	// register single-access enforcement
 	stage    int
 	gress    Gress
@@ -77,11 +86,37 @@ func (c *Ctx) Mirror(port int) { c.finalPort = port }
 // (e.g. a per-key lock) for exactly the lifetime of one packet.
 func (c *Ctx) OnComplete(fn func()) { c.onComplete = append(c.onComplete, fn) }
 
+// lockRelease is one deferred mutex release.
+type lockRelease struct {
+	mu    *sync.RWMutex
+	write bool
+}
+
+// OnCompleteRUnlock schedules mu.RUnlock for packet completion, like
+// OnComplete(mu.RUnlock) but without the per-packet closure allocation.
+func (c *Ctx) OnCompleteRUnlock(mu *sync.RWMutex) {
+	c.locks = append(c.locks, lockRelease{mu: mu})
+}
+
+// OnCompleteUnlock schedules mu.Unlock for packet completion, like
+// OnComplete(mu.Unlock) but without the per-packet closure allocation.
+func (c *Ctx) OnCompleteUnlock(mu *sync.RWMutex) {
+	c.locks = append(c.locks, lockRelease{mu: mu, write: true})
+}
+
 func (c *Ctx) runComplete() {
 	for i := len(c.onComplete) - 1; i >= 0; i-- {
 		c.onComplete[i]()
 	}
 	c.onComplete = c.onComplete[:0]
+	for i := len(c.locks) - 1; i >= 0; i-- {
+		if c.locks[i].write {
+			c.locks[i].mu.Unlock()
+		} else {
+			c.locks[i].mu.RUnlock()
+		}
+	}
+	c.locks = c.locks[:0]
 }
 
 // Digest queues a message for the control plane (a learn digest). NetCache
@@ -156,6 +191,22 @@ func (c *Ctx) RegSetBytes(r *Register, idx int, src []byte) {
 type Emitted struct {
 	Port  int
 	Frame []byte
+	// Pooled marks a Frame whose backing buffer was leased from the frame
+	// pool by the pipeline. A consumer that is DONE with the frame — it
+	// copied or fully processed the bytes and retains no reference — may
+	// return the buffer with ReleaseFrame. Consumers that retain frames
+	// (tests, traces) simply never release; the buffer falls to the GC and
+	// nothing breaks.
+	Pooled bool
+}
+
+// ReleaseFrame returns an emitted frame's buffer to the frame pool, if it
+// came from there. Call at most once per emission, and only when no live
+// reference to em.Frame remains.
+func ReleaseFrame(em Emitted) {
+	if em.Pooled {
+		bufpool.Put(em.Frame)
+	}
 }
 
 // Counters aggregates the pipeline's packet accounting (a snapshot; see
@@ -323,12 +374,20 @@ func (pl *Pipeline) Close() {
 // It returns the emitted packets (zero if dropped, one normally). It is safe
 // to call from any number of goroutines concurrently.
 func (pl *Pipeline) Process(raw []byte, inPort int) ([]Emitted, error) {
-	return pl.process(raw, inPort, nil)
+	return pl.process(raw, inPort, nil, nil)
 }
 
-func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, error) {
+// ProcessAppend is Process appending its emissions to out, so a caller in a
+// loop reuses one slice instead of allocating a fresh one per packet. The
+// emitted frames may be pool-backed (Emitted.Pooled); hot-path callers
+// release them with ReleaseFrame once consumed.
+func (pl *Pipeline) ProcessAppend(raw []byte, inPort int, out []Emitted) ([]Emitted, error) {
+	return pl.process(raw, inPort, out, nil)
+}
+
+func (pl *Pipeline) process(raw []byte, inPort int, out []Emitted, trace *Trace) ([]Emitted, error) {
 	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
-		return nil, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
+		return out, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())
 	}
 
 	pl.ctr.rx.Add(1)
@@ -347,7 +406,7 @@ func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, er
 		if errors.Is(err, ErrCorruptPacket) {
 			pl.ctr.corrupted.Add(1)
 		}
-		return nil, nil // parser exceptions drop silently, like hardware
+		return out, nil // parser exceptions drop silently, like hardware
 	}
 
 	ctx.gress = Ingress
@@ -355,13 +414,13 @@ func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, er
 	if ctx.dropped {
 		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
-		return nil, nil
+		return out, nil
 	}
 
 	if ctx.EgressPort < 0 || ctx.EgressPort >= pl.cfg.NumPorts() {
 		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
-		return nil, nil
+		return out, nil
 	}
 	pl.ctr.byEgressPipe[pl.cfg.PipeOfPort(ctx.EgressPort)].Add(1)
 
@@ -370,10 +429,24 @@ func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, er
 	if ctx.dropped {
 		pl.ctr.pipeDrops.Add(1)
 		pl.flushDigests(ctx)
-		return nil, nil
+		return out, nil
 	}
 
-	out := pl.prog.deparser(ctx, make([]byte, 0, len(raw)+len(ctx.ValueBuf)+16))
+	// The deparser builds the egress frame in a pooled lease. If it used
+	// the lease (the common case: every frame fits FrameCap), the emission
+	// is marked Pooled so the consumer can return the buffer; if the
+	// deparser switched to a different buffer, the untouched lease goes
+	// straight back to the pool.
+	lease := bufpool.Get()
+	frame := pl.prog.deparser(ctx, lease)
+	pooled := false
+	if len(frame) > 0 {
+		if &frame[0] == &lease[:1][0] {
+			pooled = true
+		} else {
+			bufpool.Put(lease)
+		}
+	}
 	port := ctx.EgressPort
 	if ctx.finalPort >= 0 {
 		port = ctx.finalPort
@@ -381,7 +454,7 @@ func (pl *Pipeline) process(raw []byte, inPort int, trace *Trace) ([]Emitted, er
 	}
 	pl.ctr.tx.Add(1)
 	pl.flushDigests(ctx)
-	return []Emitted{{Port: port, Frame: out}}, nil
+	return append(out, Emitted{Port: port, Frame: frame, Pooled: pooled}), nil
 }
 
 func (pl *Pipeline) run(g *compiledGress, ctx *Ctx) {
@@ -436,6 +509,7 @@ func (c *Ctx) reset(inPort int, raw []byte) {
 	c.Raw = raw
 	c.digests = c.digests[:0]
 	c.onComplete = c.onComplete[:0]
+	c.locks = c.locks[:0]
 	c.epoch++
 	if c.epoch == 0 { // wrapped: clear stale marks
 		for i := range c.accessed {

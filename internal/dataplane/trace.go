@@ -49,6 +49,6 @@ func (tr Trace) String() string {
 // concurrent callers (the trace covers only its own packet).
 func (pl *Pipeline) ProcessTraced(raw []byte, inPort int) ([]Emitted, Trace, error) {
 	var trace Trace
-	out, err := pl.process(raw, inPort, &trace)
+	out, err := pl.process(raw, inPort, nil, &trace)
 	return out, trace, err
 }

@@ -234,6 +234,7 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 
 	rate := cfg.InitialRate
 	var frame []byte
+	out := make([]dataplane.Emitted, 0, 1)
 	for tick := 0; tick < cfg.Ticks; tick++ {
 		// Apply the popularity churn at the start of the tick.
 		if cfg.Workload != workload.ChurnNone && cfg.ChurnEvery > 0 &&
@@ -256,7 +257,7 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 				return res, err
 			}
 			frame = netproto.EncodeFrame(frame[:0], partition(key), clientAddr, payload)
-			out, err := sw.Process(frame, clientPort)
+			out, err = sw.ProcessAppend(frame, clientPort, out[:0])
 			if err != nil {
 				return res, err
 			}
@@ -264,12 +265,13 @@ func RunDynamic(cfg DynamicConfig) (DynamicResult, error) {
 				tk.Dropped++ // unroutable — should not happen
 				continue
 			}
-			if out[0].Port == clientPort {
+			p := out[0].Port
+			dataplane.ReleaseFrame(out[0]) // only the egress port matters here
+			if p == clientPort {
 				tk.CacheHits++
 				tk.Served++
 				continue
 			}
-			p := out[0].Port
 			if buckets[p] > 0 {
 				buckets[p]--
 				tk.Served++

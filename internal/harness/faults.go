@@ -38,6 +38,12 @@ var ChaosParams = FaultParams{Loss: 0.01, Dup: 0.05, Reorder: 0.10, Corrupt: 0.0
 // Overridden by the netcache-bench flags.
 var ChaosPolicy = client.Policy{Seed: 1}
 
+// ChaosWindow is the pipelining depth of chaosbench's batched rows: reads
+// accumulate into GetBatch windows of this size (writes flush the pending
+// window first, preserving read-your-write order within a client).
+// Overridden by the netcache-bench -window flag.
+var ChaosWindow = 32
+
 // ChaosBench measures what fault injection costs the packet-level rack in
 // throughput terms: the same Zipf read/write workload is driven through a
 // clean fabric and through one injecting the configured fault mix, with
@@ -52,10 +58,11 @@ func ChaosBench(quick bool) (*Table, error) {
 	}
 	t := &Table{
 		ID: "chaosbench", Title: "packet-level rack throughput under fault injection (4 servers, 2 clients, zipf-0.95 reads, 10% writes)",
-		Columns: []string{"adaptive", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
+		Columns: []string{"adaptive", "window", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
 		Notes: []string{
 			"rates are per-frame fault probabilities on server downlinks and client uplinks;",
 			"adaptive=0 waits a fixed 2ms per attempt, adaptive=1 uses the RTT-estimated RTO with backoff;",
+			"window>1 pipelines reads through GetBatch with that many outstanding (writes flush the window);",
 			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op",
 		},
 	}
@@ -64,13 +71,16 @@ func ChaosBench(quick bool) (*Table, error) {
 	rows := []struct {
 		p      FaultParams
 		policy client.Policy
+		window int
 	}{
-		{FaultParams{}, ChaosPolicy},
-		{ChaosParams, fixed},
-		{ChaosParams, ChaosPolicy},
+		{FaultParams{}, ChaosPolicy, 1},
+		{FaultParams{}, ChaosPolicy, ChaosWindow},
+		{ChaosParams, fixed, 1},
+		{ChaosParams, ChaosPolicy, 1},
+		{ChaosParams, ChaosPolicy, ChaosWindow},
 	}
 	for _, row := range rows {
-		kops, timeoutPct, retxPct, reboots, err := runChaosBench(row.p, ops, row.policy)
+		kops, timeoutPct, retxPct, reboots, err := runChaosBench(row.p, ops, row.policy, row.window)
 		if err != nil {
 			return nil, err
 		}
@@ -78,23 +88,26 @@ func ChaosBench(quick bool) (*Table, error) {
 		if row.policy.FixedRTO {
 			adaptive = 0
 		}
-		t.Add(adaptive, row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
+		t.Add(adaptive, float64(row.window), row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
 			float64(reboots), kops, timeoutPct, retxPct)
 	}
 	return t, nil
 }
 
-func runChaosBench(p FaultParams, totalOps int, policy client.Policy) (kops, timeoutPct, retxPct float64, reboots int, err error) {
+func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int) (kops, timeoutPct, retxPct float64, reboots int, err error) {
 	const (
 		servers = 4
 		clients = 2
 		nKeys   = 2000
 		cached  = 64
 	)
+	if window < 1 {
+		window = 1
+	}
 	r, err := rack.New(rack.Config{
 		Servers: servers, Clients: clients, CacheCapacity: cached,
 		ClientTimeout: 2 * time.Millisecond, ClientRetries: 2,
-		ClientPolicy: policy,
+		ClientPolicy: policy, ClientWindow: window,
 	})
 	if err != nil {
 		return 0, 0, 0, 0, err
@@ -151,15 +164,32 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy) (kops, tim
 					WriteRatio: 0.1,
 					Seed:       int64(base + c),
 				})
+				var batch []netproto.Key
+				if window > 1 {
+					batch = make([]netproto.Key, 0, window)
+				}
+				flush := func() {
+					if len(batch) > 0 {
+						cli.GetBatch(batch)
+						batch = batch[:0]
+					}
+				}
 				for i := 0; i < n; i++ {
 					q := gen.Next()
 					key := workload.KeyName(q.Key)
-					if q.Write {
+					switch {
+					case q.Write:
+						flush() // read-your-write order within the client
 						cli.Put(key, workload.ValueFor(q.Key, 64))
-					} else {
+					case window > 1:
+						if batch = append(batch, key); len(batch) == window {
+							flush()
+						}
+					default:
 						cli.Get(key)
 					}
 				}
+				flush()
 			}(c, n/clients, done)
 		}
 		wg.Wait()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"netcache/internal/cachemem"
+	"netcache/internal/dataplane"
 	"netcache/internal/netproto"
 	"netcache/internal/switchcore"
 	"netcache/internal/workload"
@@ -118,6 +119,7 @@ func RunSnake(cfg SnakeConfig) (SnakeResult, error) {
 	}
 
 	var buf []byte
+	out := make([]dataplane.Emitted, 0, 1)
 	start := time.Now()
 	for q := 0; q < cfg.Queries; q++ {
 		id := q % cfg.CacheItems
@@ -143,7 +145,7 @@ func RunSnake(cfg SnakeConfig) (SnakeResult, error) {
 			}
 			buf = netproto.EncodeFrame(buf[:0],
 				netproto.Addr(cfg.Hops+1), netproto.Addr(hop+2), payload)
-			out, err := sw.Process(buf, hop)
+			out, err = sw.ProcessAppend(buf, hop, out[:0])
 			if err != nil {
 				return res, err
 			}
@@ -176,6 +178,7 @@ func RunSnake(cfg SnakeConfig) (SnakeResult, error) {
 					res.Verified++
 				}
 			}
+			dataplane.ReleaseFrame(out[0]) // reply frame is pool-backed
 		}
 	}
 	res.Elapsed = time.Since(start)

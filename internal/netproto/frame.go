@@ -44,17 +44,32 @@ var (
 )
 
 // frameChecksum computes the header+payload checksum of a full frame,
-// skipping the checksum field itself: an FNV-1a pass folded to 32 bits.
+// skipping the checksum field itself. The hash consumes the payload eight
+// bytes at a time with multiply-rotate mixing (the per-byte FNV-1a loop it
+// replaces was ~13% of the cached-Get CPU profile) and folds the frame
+// length into the seed so frames that differ only in trailing zero bytes —
+// indistinguishable to a plain word loop over a zero-padded tail — still
+// hash apart.
 func frameChecksum(frame []byte) uint32 {
-	h := uint64(14695981039346656037)
-	for _, b := range frame[:frameCksumOff] {
-		h ^= uint64(b)
-		h *= 1099511628211
+	const (
+		m1 = 0x9E3779B185EBCA87
+		m2 = 0xC2B2AE3D27D4EB4F
+	)
+	h := 14695981039346656037 ^ uint64(len(frame))*m1
+	h ^= uint64(binary.BigEndian.Uint32(frame[:frameCksumOff])) * m2
+	h = (h<<31 | h>>33) * m1
+	p := frame[FrameHeaderSize:]
+	for len(p) >= 8 {
+		h ^= binary.BigEndian.Uint64(p) * m2
+		h = (h<<31 | h>>33) * m1
+		p = p[8:]
 	}
-	for _, b := range frame[FrameHeaderSize:] {
-		h ^= uint64(b)
-		h *= 1099511628211
+	var tail uint64
+	for _, b := range p {
+		tail = tail<<8 | uint64(b)
 	}
+	h ^= tail * m2
+	h = (h<<31 | h>>33) * m1
 	h ^= h >> 33
 	h *= 0xFF51AFD7ED558CCD
 	h ^= h >> 33
@@ -86,6 +101,24 @@ func EncodeFrame(buf []byte, dst, src Addr, payload []byte) []byte {
 // MarshalFrame returns the wire form in a fresh slice.
 func MarshalFrame(dst, src Addr, payload []byte) []byte {
 	return EncodeFrame(make([]byte, 0, FrameHeaderSize+len(payload)), dst, src, payload)
+}
+
+// AppendFramePacket appends a complete frame — header plus the encoded
+// packet — to buf in one pass, avoiding the intermediate payload slice that
+// EncodeFrame(…, pkt.Marshal()) would allocate. It is the hot-path encoder
+// for the pooled buffers of package bufpool: lease, AppendFramePacket, send,
+// release.
+func AppendFramePacket(buf []byte, dst, src Addr, pkt *Packet) ([]byte, error) {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(dst))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(src))
+	buf = append(buf, 0, 0, 0, 0) // checksum placeholder
+	buf, err := pkt.Encode(buf)
+	if err != nil {
+		return buf[:start], err
+	}
+	FinalizeFrame(buf[start:])
+	return buf, nil
 }
 
 // DecodeFrame parses and verifies b. The payload aliases b.

@@ -57,6 +57,9 @@ type Config struct {
 	// from Policy.Seed and its own address, so a seeded rack is
 	// reproducible.
 	ClientPolicy client.Policy
+	// ClientWindow sets the clients' closed-loop pipelining depth
+	// (client.Config.Window); zero keeps the client default.
+	ClientWindow int
 }
 
 // Addressing: servers get addresses [1, Servers], clients
@@ -157,12 +160,13 @@ func New(cfg Config) (*Rack, error) {
 		cl, err := client.New(client.Config{
 			Addr: addr, Partition: r.Partition,
 			Timeout: cfg.ClientTimeout, Retries: cfg.ClientRetries,
-			Policy: cfg.ClientPolicy,
+			Policy: cfg.ClientPolicy, Window: cfg.ClientWindow,
 		})
 		if err != nil {
 			return nil, err
 		}
 		cl.SetSend(func(frame []byte) { r.Net.Inject(frame, port) })
+		cl.SetSendBatch(func(frames [][]byte) { r.Net.InjectBatch(frames, port) })
 		r.Net.Attach(port, cl.Receive)
 		if err := sw.InstallRoute(addr, port); err != nil {
 			return nil, err

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"netcache/internal/bufpool"
 	"netcache/internal/kvstore"
 	"netcache/internal/netproto"
 	"netcache/internal/stats"
@@ -266,6 +267,10 @@ func (s *Server) handleWrite(src netproto.Addr, pkt netproto.Packet) {
 	s.mu.Lock()
 	st := s.keys[pkt.Key]
 	if st != nil && (st.blocks > 0 || st.pending != nil) {
+		// pkt.Value aliases the delivered frame, whose buffer the fabric
+		// recycles once Receive returns; a queued write outlives that, so
+		// it needs its own copy.
+		pkt.Value = append([]byte(nil), pkt.Value...)
 		st.queue = append(st.queue, queuedWrite{src, pkt})
 		s.Metrics.WritesQueued.Inc()
 		s.mu.Unlock()
@@ -356,11 +361,7 @@ func (s *Server) stateLocked(key netproto.Key) *keyState {
 func (s *Server) sendCacheUpdate(key netproto.Key, u *pendingUpdate) {
 	s.Metrics.CacheUpdatesSent.Inc()
 	pkt := netproto.Packet{Op: netproto.OpCacheUpdate, Seq: u.seq, Key: key, Value: u.value}
-	payload, err := pkt.Marshal()
-	if err != nil {
-		return
-	}
-	s.send(netproto.MarshalFrame(s.cfg.Addr, s.cfg.Addr, payload))
+	s.sendPacket(s.cfg.Addr, &pkt)
 }
 
 // scheduleRetry arms the retransmission timer for a pending update — the
@@ -471,9 +472,19 @@ func (s *Server) drainLocked(key netproto.Key, st *keyState) {
 }
 
 func (s *Server) reply(dst netproto.Addr, pkt netproto.Packet) {
-	payload, err := pkt.Marshal()
+	s.sendPacket(dst, &pkt)
+}
+
+// sendPacket frames pkt into a pooled buffer, hands it to the fabric, and
+// recycles the buffer: send implementations (simnet.Inject, udptrans.Send)
+// consume the frame synchronously and do not retain it.
+func (s *Server) sendPacket(dst netproto.Addr, pkt *netproto.Packet) {
+	frame := bufpool.Get()
+	frame, err := netproto.AppendFramePacket(frame, dst, s.cfg.Addr, pkt)
 	if err != nil {
+		bufpool.Put(frame)
 		return
 	}
-	s.send(netproto.MarshalFrame(dst, s.cfg.Addr, payload))
+	s.send(frame)
+	bufpool.Put(frame)
 }

@@ -314,6 +314,32 @@ func TestControllerBlockWindow(t *testing.T) {
 	h.srv.UnblockWrites(key("k"))
 }
 
+// TestQueuedWriteSurvivesFrameRecycle pins the aliasing rule behind the
+// pooled packet path: a delivered frame's buffer belongs to the fabric again
+// the moment Receive returns, so a write queued behind a block window must
+// have copied its value out. Without the copy in handleWrite this stores the
+// scribbled bytes — the exact tear the chaos corruption injector would
+// surface as a wrong-value invariant hit.
+func TestQueuedWriteSurvivesFrameRecycle(t *testing.T) {
+	h := newHarness(t, Config{})
+	h.srv.BlockWrites(key("k"))
+	pkt := netproto.Packet{Op: netproto.OpPut, Seq: 1, Key: key("k"), Value: []byte("fresh")}
+	payload, err := pkt.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := netproto.MarshalFrame(srvAddr, cliAddr, payload)
+	h.srv.Receive(frame)
+	// The fabric recycles the buffer for an unrelated frame.
+	for i := range frame {
+		frame[i] = 0xEE
+	}
+	h.srv.UnblockWrites(key("k"))
+	if v, _, ok := h.srv.Store().Get(key("k")); !ok || !bytes.Equal(v, []byte("fresh")) {
+		t.Errorf("queued write stored %q after frame recycle, want %q", v, "fresh")
+	}
+}
+
 func TestFetchValue(t *testing.T) {
 	h := newHarness(t, Config{})
 	h.srv.Store().Put(key("k"), []byte("v"))

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"netcache/internal/bufpool"
 	"netcache/internal/dataplane"
 	"netcache/internal/stats"
 )
@@ -41,18 +42,56 @@ type Switch interface {
 	Process(frame []byte, inPort int) ([]dataplane.Emitted, error)
 }
 
-// Handler consumes frames delivered to an endpoint's port.
+// batchSwitch is the allocation-free variant of Switch. When the wrapped
+// switch provides it (switchcore does), the fabric processes packets through
+// a reused emission slice and takes ownership of pool-backed emitted frames:
+// it releases each one back to the frame pool as soon as the endpoint handler
+// returns. Handlers must therefore not retain delivered frames — the
+// contract Handler documents.
+type batchSwitch interface {
+	ProcessAppend(frame []byte, inPort int, out []dataplane.Emitted) ([]dataplane.Emitted, error)
+}
+
+// Handler consumes frames delivered to an endpoint's port. The frame is
+// valid only for the duration of the call: the fabric may recycle its buffer
+// the moment the handler returns. Handlers that keep data must copy it.
 type Handler func(frame []byte)
+
+// delivery is one frame queued toward an endpoint, tagged with whether its
+// buffer goes back to the frame pool after the handler has run.
+type delivery struct {
+	frame  []byte
+	pooled bool
+}
 
 // portQueue serializes delivery to one endpoint. Whichever goroutine finds
 // the queue idle becomes the drainer and runs the handler for every queued
 // frame (including frames other goroutines append meanwhile); the rest
-// enqueue and leave.
+// enqueue and leave. The queue is a power-of-two ring so steady-state
+// traffic enqueues without allocating, and a batch of N frames costs one
+// lock acquisition instead of N.
 type portQueue struct {
-	h     Handler
-	mu    sync.Mutex
-	queue [][]byte
-	busy  bool
+	h          Handler
+	mu         sync.Mutex
+	ring       []delivery // power-of-two circular buffer
+	head, tail int        // tail-head = queued count; indices mod len(ring)
+	busy       bool
+}
+
+// push appends with mu held, growing the ring when full.
+func (pq *portQueue) push(d delivery) {
+	if pq.tail-pq.head == len(pq.ring) {
+		grown := make([]delivery, max(16, len(pq.ring)*2))
+		n := 0
+		for i := pq.head; i != pq.tail; i++ {
+			grown[n] = pq.ring[i&(len(pq.ring)-1)]
+			n++
+		}
+		pq.ring = grown
+		pq.head, pq.tail = 0, n
+	}
+	pq.ring[pq.tail&(len(pq.ring)-1)] = d
+	pq.tail++
 }
 
 // Dir selects which cable segment of a port a fault rule applies to,
@@ -133,6 +172,7 @@ type reorderBuf struct {
 // SetPortDown, Reseed, Flush) are safe from any goroutine.
 type Net struct {
 	sw     Switch
+	bsw    batchSwitch // non-nil when sw supports ProcessAppend
 	queues map[int]*portQueue
 	cables map[int]int
 
@@ -172,6 +212,9 @@ func New(sw Switch) *Net {
 		reorder: make(map[faultKey]*reorderBuf),
 		parts:   make(map[uint64]struct{}),
 		down:    make(map[int]bool),
+	}
+	if bsw, ok := sw.(batchSwitch); ok {
+		n.bsw = bsw
 	}
 	n.rngCtr.Store(1) // fixed seed: reproducible fault patterns
 	return n
@@ -403,37 +446,135 @@ func (n *Net) corruptCopy(frame []byte) []byte {
 // resulting emissions. It returns the first switch error encountered. Safe
 // for concurrent callers; when a destination endpoint is already being
 // drained by another goroutine, the frame is queued there and Inject returns
-// without waiting for the handler to run.
+// without waiting for the handler to run. The fabric never retains frame
+// after Inject returns: callers (client retransmission buffers) may reuse it.
 func (n *Net) Inject(frame []byte, port int) error {
 	if n.isDown(port) {
 		n.DownDropped.Inc()
 		return nil
 	}
 	for _, f := range n.applyFaults(frame, port, ToSwitch) {
-		if err := n.forward(f, port); err != nil {
+		if err := n.forward(f, port, nil); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// batchItem is one buffered port-queue delivery of an InjectBatch.
+type batchItem struct {
+	pq *portQueue
+	d  delivery
+}
+
+// batchSink accumulates port-queue deliveries across a batch so each
+// destination's actor is woken (and its lock taken) once per batch rather
+// than once per frame.
+type batchSink struct {
+	items []batchItem
+}
+
+// InjectBatch pushes a burst of frames into the switch at one port,
+// coalescing deliveries: every destination endpoint has its queue locked
+// once for all the batch's frames to it. Emissions that leave through a
+// loopback cable re-enter the switch immediately, unbatched (cable hops are
+// the snake-test topology, not the hot path). Like Inject, the injected
+// frames are not retained.
+func (n *Net) InjectBatch(frames [][]byte, port int) error {
+	if n.isDown(port) {
+		for range frames {
+			n.DownDropped.Inc()
+		}
+		return nil
+	}
+	var sink batchSink
+	var firstErr error
+	for _, frame := range frames {
+		for _, f := range n.applyFaults(frame, port, ToSwitch) {
+			if err := n.forward(f, port, &sink); err != nil {
+				firstErr = err
+				break
+			}
+		}
+		if firstErr != nil {
+			break
+		}
+	}
+	// Flush buffered deliveries in arrival order, one lock per run of
+	// consecutive same-destination items.
+	for i := 0; i < len(sink.items); {
+		j := i + 1
+		for j < len(sink.items) && sink.items[j].pq == sink.items[i].pq {
+			j++
+		}
+		sink.items[i].pq.deliverBatch(sink.items[i:j])
+		i = j
+	}
+	return firstErr
+}
+
+// emitScratch pools the emission slices forward passes to ProcessAppend.
+var emitScratch = sync.Pool{
+	New: func() any { s := make([]dataplane.Emitted, 0, 8); return &s },
+}
+
 // forward runs one frame through the switch and fans out its emissions.
-func (n *Net) forward(frame []byte, inPort int) error {
-	out, err := n.sw.Process(frame, inPort)
+// When sink is non-nil, port-queue deliveries are buffered there instead of
+// being delivered immediately (InjectBatch).
+//
+// Pool-backed emissions (Emitted.Pooled) are owned by this function: every
+// path either hands the buffer to a port queue exactly once — tagging the
+// delivery so the drainer releases it after the handler — or releases it
+// here (fault loss, partition/down drops, cable re-injection, reorder
+// holdback of a copy). Fault duplication can put the same buffer in the
+// output twice; only the last occurrence carries the release tag, so the
+// buffer outlives every delivery of it.
+func (n *Net) forward(frame []byte, inPort int, sink *batchSink) error {
+	var out []dataplane.Emitted
+	var err error
+	if n.bsw != nil {
+		scratch := emitScratch.Get().(*[]dataplane.Emitted)
+		out, err = n.bsw.ProcessAppend(frame, inPort, (*scratch)[:0])
+		defer func() {
+			for i := range out {
+				out[i] = dataplane.Emitted{}
+			}
+			*scratch = out[:0]
+			emitScratch.Put(scratch)
+		}()
+	} else {
+		out, err = n.sw.Process(frame, inPort)
+	}
 	if err != nil {
 		return err
 	}
 	for _, em := range out {
 		if n.partitioned(inPort, em.Port) {
 			n.PartitionDropped.Inc()
+			dataplane.ReleaseFrame(em)
 			continue
 		}
 		if n.isDown(em.Port) {
 			n.DownDropped.Inc()
+			dataplane.ReleaseFrame(em)
 			continue
 		}
-		for _, f := range n.applyFaults(em.Frame, em.Port, FromSwitch) {
-			if err := n.deliverFinal(f, em.Port); err != nil {
+		fs := n.applyFaults(em.Frame, em.Port, FromSwitch)
+		last := -1 // index in fs of the final delivery of em's own buffer
+		if em.Pooled && len(em.Frame) > 0 {
+			for i, f := range fs {
+				if len(f) > 0 && &f[0] == &em.Frame[0] {
+					last = i
+				}
+			}
+			if last == -1 {
+				// Lost, or held for reordering (the hold copies):
+				// the buffer has no further reader.
+				bufpool.Put(em.Frame)
+			}
+		}
+		for i, f := range fs {
+			if err := n.deliverFinal(f, em.Port, i == last, sink); err != nil {
 				return err
 			}
 		}
@@ -442,16 +583,32 @@ func (n *Net) forward(frame []byte, inPort int) error {
 }
 
 // deliverFinal hands one post-fault frame to the endpoint or cable at port.
-func (n *Net) deliverFinal(frame []byte, port int) error {
+// pooled marks a frame whose buffer returns to the pool once it has no
+// reader: after the endpoint handler runs, or here when the frame's journey
+// ends (cable re-injection and unattached ports — the switch copies what it
+// needs before Inject returns).
+func (n *Net) deliverFinal(frame []byte, port int, pooled bool, sink *batchSink) error {
 	if pq, ok := n.queues[port]; ok {
 		n.Delivered.Inc()
-		pq.deliver(frame)
+		d := delivery{frame: frame, pooled: pooled}
+		if sink != nil {
+			sink.items = append(sink.items, batchItem{pq: pq, d: d})
+			return nil
+		}
+		pq.deliver(d)
 		return nil
 	}
 	if peer, ok := n.cables[port]; ok {
-		return n.Inject(frame, peer)
+		err := n.Inject(frame, peer)
+		if pooled {
+			bufpool.Put(frame)
+		}
+		return err
 	}
 	n.Unattached.Inc()
+	if pooled {
+		bufpool.Put(frame)
+	}
 	return nil
 }
 
@@ -504,9 +661,9 @@ func (n *Net) Flush() error {
 			}
 			var err error
 			if p.key.dir == ToSwitch {
-				err = n.forward(p.frame, p.key.port)
+				err = n.forward(p.frame, p.key.port, nil)
 			} else {
-				err = n.deliverFinal(p.frame, p.key.port)
+				err = n.deliverFinal(p.frame, p.key.port, false, nil)
 			}
 			if err != nil {
 				return err
@@ -516,24 +673,50 @@ func (n *Net) Flush() error {
 	return nil
 }
 
-// deliver enqueues frame and, if no other goroutine is draining this port,
-// drains the queue in order. A handler that re-enters Inject and loops a
-// frame back to its own port finds busy set and enqueues; the outer drain
+// deliver enqueues one delivery and, if no other goroutine is draining this
+// port, drains the queue in order. A handler that re-enters Inject and loops
+// a frame back to its own port finds busy set and enqueues; the outer drain
 // loop picks it up after the handler returns — ordered, and without the
 // recursion a synchronous fabric would do.
-func (pq *portQueue) deliver(frame []byte) {
+func (pq *portQueue) deliver(d delivery) {
 	pq.mu.Lock()
-	pq.queue = append(pq.queue, frame)
+	pq.push(d)
 	if pq.busy {
 		pq.mu.Unlock()
 		return
 	}
-	pq.busy = true
-	for len(pq.queue) > 0 {
-		f := pq.queue[0]
-		pq.queue = pq.queue[1:]
+	pq.drainLocked()
+}
+
+// deliverBatch enqueues a run of deliveries under one lock acquisition —
+// the single actor wakeup InjectBatch buys for N in-flight frames.
+func (pq *portQueue) deliverBatch(items []batchItem) {
+	pq.mu.Lock()
+	for i := range items {
+		pq.push(items[i].d)
+	}
+	if pq.busy {
 		pq.mu.Unlock()
-		pq.h(f)
+		return
+	}
+	pq.drainLocked()
+}
+
+// drainLocked runs the handler for every queued delivery, releasing
+// pool-backed frames as each handler returns. Called with mu held; returns
+// with mu released.
+func (pq *portQueue) drainLocked() {
+	pq.busy = true
+	for pq.tail != pq.head {
+		i := pq.head & (len(pq.ring) - 1)
+		d := pq.ring[i]
+		pq.ring[i] = delivery{}
+		pq.head++
+		pq.mu.Unlock()
+		pq.h(d.frame)
+		if d.pooled {
+			bufpool.Put(d.frame)
+		}
 		pq.mu.Lock()
 	}
 	pq.busy = false

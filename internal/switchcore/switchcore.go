@@ -347,10 +347,10 @@ func (sw *Switch) buildIngress(f phv) {
 		mu := sw.keyLock(int((d >> 16) & 0xFFFF))
 		if netproto.Op(ctx.Get(f.op)) == netproto.OpGet {
 			mu.RLock()
-			ctx.OnComplete(mu.RUnlock)
+			ctx.OnCompleteRUnlock(mu)
 		} else {
 			mu.Lock()
-			ctx.OnComplete(mu.Unlock)
+			ctx.OnCompleteUnlock(mu)
 		}
 	})
 	sw.lookup = lookup
@@ -879,6 +879,13 @@ func keyFields(key netproto.Key) []uint64 {
 // Process runs one frame through the switch data plane.
 func (sw *Switch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error) {
 	return sw.pl.Process(frame, inPort)
+}
+
+// ProcessAppend is Process appending emissions to out, reusing the caller's
+// slice across packets. Emitted frames may be pool-backed; see
+// dataplane.ReleaseFrame.
+func (sw *Switch) ProcessAppend(frame []byte, inPort int, out []dataplane.Emitted) ([]dataplane.Emitted, error) {
+	return sw.pl.ProcessAppend(frame, inPort, out)
 }
 
 // Pipeline exposes the underlying pipeline (counters, config).

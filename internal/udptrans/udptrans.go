@@ -15,13 +15,16 @@
 package udptrans
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"netcache/internal/bufpool"
 	"netcache/internal/controller"
+	"netcache/internal/dataplane"
 	"netcache/internal/netproto"
 	"netcache/internal/switchcore"
 )
@@ -29,8 +32,101 @@ import (
 // CtlAddr is the rack address reserved for the switch-resident controller.
 const CtlAddr = netproto.Addr(0xFFFF)
 
-// maxDatagram bounds one frame on the wire.
+// maxDatagram bounds one datagram on the wire.
 const maxDatagram = 2048
+
+// Batch wire format. A datagram whose first two bytes are the batch magic
+// packs several frames: [0xB5 0x17][count u16 BE] then, per frame,
+// [len u16 BE][frame bytes]. A receiver validates the whole structure
+// (every length in bounds, datagram fully consumed) before delivering any
+// frame and otherwise treats the datagram as one bare frame, so a plain
+// frame whose destination address happens to read 0xB517 still gets
+// through — it would also need a plausible count and an exact
+// length-prefixed layout to be misparsed, and the per-frame checksum in
+// DecodeFrame guards the remaining astronomically unlikely case.
+const (
+	batchMagic0     = 0xB5
+	batchMagic1     = 0x17
+	batchHeaderSize = 4 // magic(2) + count(2)
+	batchFrameOff   = 6 // header + first frame's len prefix
+)
+
+// splitBatch delivers each frame of a batch datagram to emit and reports
+// whether d was a structurally valid batch. Frames alias d.
+func splitBatch(d []byte, emit func(frame []byte)) bool {
+	if len(d) < batchFrameOff || d[0] != batchMagic0 || d[1] != batchMagic1 {
+		return false
+	}
+	count := int(binary.BigEndian.Uint16(d[2:4]))
+	if count == 0 {
+		return false
+	}
+	// Structural pass first: nothing is delivered from a malformed batch.
+	off := batchHeaderSize
+	for i := 0; i < count; i++ {
+		if off+2 > len(d) {
+			return false
+		}
+		n := int(binary.BigEndian.Uint16(d[off:]))
+		off += 2
+		if n == 0 || off+n > len(d) {
+			return false
+		}
+		off += n
+	}
+	if off != len(d) {
+		return false
+	}
+	off = batchHeaderSize
+	for i := 0; i < count; i++ {
+		n := int(binary.BigEndian.Uint16(d[off:]))
+		off += 2
+		emit(d[off : off+n])
+		off += n
+	}
+	return true
+}
+
+// batchWriter packs frames into batch datagrams bounded by maxDatagram. A
+// lone frame in a flush ships bare (no batch framing), so batching peers
+// interoperate with un-batched ones. Frames are copied into the writer's
+// buffer by add, so the caller may recycle a frame as soon as add returns.
+type batchWriter struct {
+	write func(datagram []byte)
+	buf   []byte // leased from bufpool by the owner; never outgrows its cap
+	count int
+}
+
+func (w *batchWriter) add(frame []byte) {
+	need := 2 + len(frame)
+	if batchHeaderSize+need > maxDatagram {
+		w.flush()
+		w.write(frame) // oversize frame ships alone, bare
+		return
+	}
+	if w.count > 0 && len(w.buf)+need > maxDatagram {
+		w.flush()
+	}
+	if w.count == 0 {
+		w.buf = append(w.buf[:0], batchMagic0, batchMagic1, 0, 0)
+	}
+	w.buf = binary.BigEndian.AppendUint16(w.buf, uint16(len(frame)))
+	w.buf = append(w.buf, frame...)
+	w.count++
+}
+
+func (w *batchWriter) flush() {
+	switch {
+	case w.count == 0:
+	case w.count == 1:
+		w.write(w.buf[batchFrameOff:]) // single frame rides bare
+	default:
+		binary.BigEndian.PutUint16(w.buf[2:4], uint16(w.count))
+		w.write(w.buf)
+	}
+	w.buf = w.buf[:0]
+	w.count = 0
+}
 
 // SwitchConfig configures a switch daemon.
 type SwitchConfig struct {
@@ -196,33 +292,64 @@ func (d *SwitchDaemon) readLoop() error {
 }
 
 func (d *SwitchDaemon) handle(datagram []byte, from *net.UDPAddr) {
-	fr, err := netproto.DecodeFrame(datagram)
+	var out []dataplane.Emitted
+	if !splitBatch(datagram, func(f []byte) { out = d.handleFrame(f, from, out) }) {
+		out = d.handleFrame(datagram, from, out)
+	}
+	d.transmit(out)
+}
+
+// handleFrame pushes one frame through the pipeline, appending emissions to
+// out; the caller owns transmission (and release) of the accumulated batch.
+func (d *SwitchDaemon) handleFrame(frame []byte, from *net.UDPAddr, out []dataplane.Emitted) []dataplane.Emitted {
+	fr, err := netproto.DecodeFrame(frame)
 	if err != nil {
-		return
+		return out
 	}
 	port := d.learn(fr.Src, from)
 
 	// Control traffic addressed to the daemon bypasses the pipeline.
 	if fr.Dst == CtlAddr {
 		d.handleCtl(fr, from)
-		return
+		return out
 	}
 
-	out, err := d.sw.Process(datagram, port)
+	out, err = d.sw.ProcessAppend(frame, port, out)
 	if err != nil {
 		d.logf("switch: process: %v", err)
-		return
 	}
-	for _, em := range out {
+	return out
+}
+
+// transmit coalesces the emissions of one received datagram per destination
+// endpoint — every cached reply of a client's pipelined burst rides back in
+// as few datagrams as fit — then releases the pooled frames.
+func (d *SwitchDaemon) transmit(out []dataplane.Emitted) {
+	for i := range out {
+		if out[i].Frame == nil {
+			continue
+		}
+		port := out[i].Port
 		d.mu.Lock()
-		ep := d.endpoints[em.Port]
+		ep := d.endpoints[port]
 		d.mu.Unlock()
-		if ep == nil {
-			continue // emission toward a port never learned
+		w := batchWriter{buf: bufpool.Get(), write: func(dg []byte) {
+			if _, err := d.conn.WriteToUDP(dg, ep); err != nil {
+				d.logf("switch: tx: %v", err)
+			}
+		}}
+		for j := i; j < len(out); j++ {
+			if out[j].Frame == nil || out[j].Port != port {
+				continue
+			}
+			if ep != nil { // else: emission toward a port never learned
+				w.add(out[j].Frame)
+			}
+			dataplane.ReleaseFrame(out[j])
+			out[j] = dataplane.Emitted{}
 		}
-		if _, err := d.conn.WriteToUDP(em.Frame, ep); err != nil {
-			d.logf("switch: tx: %v", err)
-		}
+		w.flush()
+		bufpool.Put(w.buf)
 	}
 }
 
@@ -425,6 +552,21 @@ func (e *Endpoint) Send(frame []byte) {
 	e.conn.WriteToUDP(frame, e.switchAddr)
 }
 
+// SendBatch transmits a burst of frames to the switch, coalescing them into
+// batch datagrams (as many frames per datagram as fit under maxDatagram).
+// Frames are copied out before SendBatch returns, so callers may recycle
+// them immediately — the contract client.SetSendBatch assumes.
+func (e *Endpoint) SendBatch(frames [][]byte) {
+	w := batchWriter{buf: bufpool.Get(), write: func(dg []byte) {
+		e.conn.WriteToUDP(dg, e.switchAddr)
+	}}
+	for _, f := range frames {
+		w.add(f)
+	}
+	w.flush()
+	bufpool.Put(w.buf)
+}
+
 // Hello announces self to the switch so it learns the address→endpoint
 // binding before any traffic targets it. The frame routes back to self and
 // is discarded by the receiver.
@@ -432,7 +574,11 @@ func (e *Endpoint) Hello(self netproto.Addr) {
 	e.Send(netproto.MarshalFrame(self, self, []byte("hello")))
 }
 
-// Run delivers received frames to fn until Close.
+// Run delivers received frames to fn until Close, unpacking batch datagrams
+// into their individual frames. The frame slice is only valid for the
+// duration of the call — it aliases the read buffer, which the next read
+// overwrites — so fn must copy anything it keeps. client.Receive and
+// server.Receive honor that contract.
 func (e *Endpoint) Run(fn func(frame []byte)) error {
 	buf := make([]byte, maxDatagram)
 	for {
@@ -443,9 +589,9 @@ func (e *Endpoint) Run(fn func(frame []byte)) error {
 			}
 			return err
 		}
-		frame := make([]byte, n)
-		copy(frame, buf[:n])
-		fn(frame)
+		if d := buf[:n]; !splitBatch(d, fn) {
+			fn(d)
+		}
 	}
 }
 

@@ -171,6 +171,82 @@ func TestUDPCoherentWriteToCachedKey(t *testing.T) {
 	}
 }
 
+func TestBatchWireFormatRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		[]byte("alpha"), []byte("b"), bytes.Repeat([]byte{0x42}, 164),
+	}
+	var datagrams [][]byte
+	w := batchWriter{write: func(dg []byte) {
+		datagrams = append(datagrams, append([]byte(nil), dg...))
+	}}
+	for _, f := range frames {
+		w.add(f)
+	}
+	w.flush()
+	if len(datagrams) != 1 {
+		t.Fatalf("got %d datagrams, want 1", len(datagrams))
+	}
+	var got [][]byte
+	if !splitBatch(datagrams[0], func(f []byte) { got = append(got, append([]byte(nil), f...)) }) {
+		t.Fatal("splitBatch rejected a batchWriter datagram")
+	}
+	if len(got) != len(frames) {
+		t.Fatalf("round trip: %d frames, want %d", len(got), len(frames))
+	}
+	for i := range frames {
+		if !bytes.Equal(got[i], frames[i]) {
+			t.Errorf("frame %d = %q, want %q", i, got[i], frames[i])
+		}
+	}
+
+	// A lone frame ships bare: no batch framing for unbatched receivers.
+	datagrams = nil
+	w.add([]byte("solo"))
+	w.flush()
+	if len(datagrams) != 1 || !bytes.Equal(datagrams[0], []byte("solo")) {
+		t.Errorf("single-frame flush = %q, want bare frame", datagrams)
+	}
+
+	// Malformed batches are rejected wholesale, never partially delivered.
+	for _, bad := range [][]byte{
+		{batchMagic0, batchMagic1},                       // truncated header
+		{batchMagic0, batchMagic1, 0, 0},                 // zero count
+		{batchMagic0, batchMagic1, 0, 2, 0, 1, 'x'},      // count overruns
+		{batchMagic0, batchMagic1, 0, 1, 0, 1, 'x', 'y'}, // trailing junk
+		{batchMagic0, batchMagic1, 0, 1, 0, 0},           // zero-length frame
+	} {
+		if splitBatch(bad, func([]byte) { t.Errorf("emitted from malformed batch %v", bad) }) {
+			t.Errorf("splitBatch accepted %v", bad)
+		}
+	}
+}
+
+func TestUDPPipelinedGetBatch(t *testing.T) {
+	// The batched client path over real sockets: frames coalesce into batch
+	// datagrams on the way in, replies coalesce on the way back.
+	dep := deploy(t, 2, time.Hour)
+	cep := dep.eps[len(dep.eps)-1] // the client's endpoint
+	dep.cli.SetSendBatch(cep.SendBatch)
+
+	const n = 48
+	keys := make([]netproto.Key, n)
+	for i := range keys {
+		keys[i] = workload.KeyName(i)
+		if err := dep.cli.Put(keys[i], workload.ValueFor(i, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, errs := dep.cli.GetBatch(keys)
+	for i := range keys {
+		if errs[i] != nil {
+			t.Fatalf("GetBatch[%d]: %v", i, errs[i])
+		}
+		if !bytes.Equal(vals[i], workload.ValueFor(i, 32)) {
+			t.Errorf("GetBatch[%d] = %q", i, vals[i])
+		}
+	}
+}
+
 func TestUDPStatsRPC(t *testing.T) {
 	dep := deploy(t, 1, time.Hour)
 	dep.cli.Put(netproto.KeyFromString("k"), []byte("v"))

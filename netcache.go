@@ -137,6 +137,10 @@ type Config struct {
 	// StorageEngine selects the servers' storage engine: "chained"
 	// (default) or "cuckoo".
 	StorageEngine string
+	// Window is the clients' closed-loop pipelining depth for
+	// GetBatch/GetMulti (outstanding requests per batch); zero uses the
+	// client default of 32.
+	Window int
 }
 
 // PaperSwitchConfig returns the prototype's switch program dimensions (§6):
@@ -160,6 +164,7 @@ func New(cfg Config) (*Rack, error) {
 		ServerShards:  cfg.ServerShards,
 		WritePolicy:   cfg.WritePolicy,
 		StorageEngine: cfg.StorageEngine,
+		ClientWindow:  cfg.Window,
 	})
 	if err != nil {
 		return nil, err
@@ -283,6 +288,11 @@ func (c *Client) Delete(key Key) error { return c.c.Delete(key) }
 // GetMulti fetches several keys concurrently; results and errors are
 // positional. Hot keys in the batch are served by the switch.
 func (c *Client) GetMulti(keys []Key) ([][]byte, []error) { return c.c.GetMulti(keys) }
+
+// GetBatch fetches several keys with Config.Window requests outstanding at
+// once, issuing each window as one batched burst into the fabric — the
+// closed-loop depth the paper's throughput figures assume.
+func (c *Client) GetBatch(keys []Key) ([][]byte, []error) { return c.c.GetBatch(keys) }
 
 // Experiments returns the registry regenerating every table and figure of
 // the paper's evaluation, in paper order.
