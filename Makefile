@@ -33,6 +33,10 @@ bench-json:
 		-bench 'BenchmarkPipelineSequential|BenchmarkPipelineParallel|BenchmarkEndToEndCachedGet|BenchmarkEndToEndServerGet|BenchmarkRackParallelGet|BenchmarkRackPipelinedGet' \
 		. | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
+	$(GO) test -run xxx -benchmem \
+		-bench 'BenchmarkMultiRack' \
+		. | $(GO) run ./cmd/benchjson > BENCH_multirack.json
+	@cat BENCH_multirack.json
 
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:

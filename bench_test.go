@@ -12,6 +12,7 @@ import (
 
 	"netcache/internal/dataplane"
 	"netcache/internal/harness"
+	"netcache/internal/leafspine"
 	"netcache/internal/netproto"
 	"netcache/internal/rack"
 	"netcache/internal/workload"
@@ -329,6 +330,100 @@ func BenchmarkRackPipelinedGet(b *testing.B) {
 	keys := make([]netproto.Key, window)
 	for i := range keys {
 		keys[i] = key
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; done += window {
+		n := window
+		if rest := b.N - done; rest < n {
+			n = rest
+		}
+		_, errs := cli.GetBatch(keys[:n])
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// multiRackBenchRig assembles a 2-rack leaf-spine fabric with one key cached
+// at the spine, one cached only at a ToR, and the rest server-only.
+func multiRackBenchRig(b *testing.B, window int) (f *leafspine.Fabric, spineKey, torKey netproto.Key) {
+	b.Helper()
+	f, err := leafspine.New(leafspine.Config{
+		Racks: 2, ServersPerRack: 2, Clients: 1,
+		SpineCache: 8, TorCache: 8, ClientWindow: window,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.LoadDataset(128, 128)
+	spineKey, torKey = workload.KeyName(3), workload.KeyName(4)
+	_, spineCtl := f.Spine()
+	if err := spineCtl.InsertKey(spineKey); err != nil {
+		b.Fatal(err)
+	}
+	_, torCtl := f.Tor(f.RackOf(torKey))
+	if err := torCtl.InsertKey(torKey); err != nil {
+		b.Fatal(err)
+	}
+	return f, spineKey, torKey
+}
+
+// BenchmarkMultiRackSpineCachedGet: the multi-rack fast path — a read served
+// by the spine switch without ever crossing a trunk.
+func BenchmarkMultiRackSpineCachedGet(b *testing.B) {
+	f, key, _ := multiRackBenchRig(b, 0)
+	cli := f.Client(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiRackTorCachedGet: a spine miss served by the owning ToR's
+// cache — the query and reply each cross one inter-switch trunk.
+func BenchmarkMultiRackTorCachedGet(b *testing.B) {
+	f, _, key := multiRackBenchRig(b, 0)
+	cli := f.Client(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiRackServerGet: the full miss path — spine, trunk, ToR,
+// storage server and back.
+func BenchmarkMultiRackServerGet(b *testing.B) {
+	f, _, _ := multiRackBenchRig(b, 0)
+	cli := f.Client(0)
+	key := workload.KeyName(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Get(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMultiRackPipelinedGet: one client keeps a window of reads
+// outstanding across both racks via GetBatch (ns/op is per Get) — the
+// batched injection path riding the trunks.
+func BenchmarkMultiRackPipelinedGet(b *testing.B) {
+	const window = 32
+	f, _, _ := multiRackBenchRig(b, window)
+	cli := f.Client(0)
+	keys := make([]netproto.Key, window)
+	for i := range keys {
+		keys[i] = workload.KeyName(100 + i%8) // server-only keys across both racks
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

@@ -30,18 +30,22 @@ func main() {
 	quick := flag.Bool("quick", false, "trade precision for runtime")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table or csv")
-	loss := flag.Float64("loss", harness.ChaosParams.Loss, "chaosbench: per-frame loss probability")
-	dup := flag.Float64("dup", harness.ChaosParams.Dup, "chaosbench: per-frame duplication probability")
-	reorder := flag.Float64("reorder", harness.ChaosParams.Reorder, "chaosbench: per-frame reorder probability")
-	corrupt := flag.Float64("corrupt", harness.ChaosParams.Corrupt, "chaosbench: per-frame corruption probability")
-	rebootEvery := flag.Int("reboot-every", harness.ChaosParams.RebootEvery, "chaosbench: switch reboot interval in ops (0 disables)")
+	loss := flag.Float64("loss", harness.ChaosParams.Loss, "chaosbench/multirack: per-frame loss probability")
+	dup := flag.Float64("dup", harness.ChaosParams.Dup, "chaosbench/multirack: per-frame duplication probability")
+	reorder := flag.Float64("reorder", harness.ChaosParams.Reorder, "chaosbench/multirack: per-frame reorder probability")
+	corrupt := flag.Float64("corrupt", harness.ChaosParams.Corrupt, "chaosbench/multirack: per-frame corruption probability")
+	rebootEvery := flag.Int("reboot-every", harness.ChaosParams.RebootEvery, "chaosbench/multirack: reboot interval in ops (0 disables)")
 	rtoFloor := flag.Duration("rto-floor", harness.ChaosPolicy.RTOFloor, "chaosbench: adaptive RTO floor (0 = client default)")
 	rtoCeil := flag.Duration("rto-ceil", harness.ChaosPolicy.RTOCeil, "chaosbench: adaptive RTO ceiling (0 = client default)")
 	backoffMax := flag.Int("backoff-max", harness.ChaosPolicy.BackoffMax, "chaosbench: max exponential backoff doublings (0 = client default)")
 	jitterFrac := flag.Float64("jitter-frac", harness.ChaosPolicy.JitterFrac, "chaosbench: RTO jitter fraction (0 = client default, negative disables)")
 	hedge := flag.Bool("hedge", harness.ChaosPolicy.Hedge, "chaosbench: enable hedged reads on the adaptive rows")
 	clientSeed := flag.Uint64("client-seed", harness.ChaosPolicy.Seed, "chaosbench: seed for the clients' retransmission jitter")
-	window := flag.Int("window", harness.ChaosWindow, "chaosbench: pipelining depth of the batched rows (1 disables)")
+	window := flag.Int("window", harness.ChaosWindow, "chaosbench/multirack: pipelining depth of the batched rows (1 disables)")
+	racks := flag.Int("racks", harness.MultiRackParams.Racks, "multirack: number of racks in the leaf-spine fabric")
+	serversPerRack := flag.Int("servers-per-rack", harness.MultiRackParams.ServersPerRack, "multirack: storage servers per rack")
+	spineCache := flag.Int("spine-cache", harness.MultiRackParams.SpineCache, "multirack: spine switch cache capacity")
+	torCache := flag.Int("tor-cache", harness.MultiRackParams.TorCache, "multirack: per-ToR switch cache capacity")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -55,6 +59,10 @@ func main() {
 		JitterFrac: *jitterFrac, Hedge: *hedge, Seed: *clientSeed,
 	}
 	harness.ChaosWindow = *window
+	harness.MultiRackParams.Racks = *racks
+	harness.MultiRackParams.ServersPerRack = *serversPerRack
+	harness.MultiRackParams.SpineCache = *spineCache
+	harness.MultiRackParams.TorCache = *torCache
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -47,6 +47,7 @@ func demoPacketFabric() {
 	fmt.Println("\n-- packet-level prototype: 2 racks x 4 servers under a caching spine --")
 	fb, err := netcache.NewLeafSpine(netcache.LeafSpineConfig{
 		Racks: 2, ServersPerRack: 4, Clients: 1, SpineCache: 32, TorCache: 32,
+		Window: 32,
 	})
 	if err != nil {
 		fmt.Println("error:", err)
@@ -61,11 +62,18 @@ func demoPacketFabric() {
 	}
 	cli := fb.Client(0)
 	rng := rand.New(rand.NewSource(7))
+	batch := make([]netcache.Key, 32) // one pipelined window per GetBatch
 	for tick := 0; tick < 4; tick++ {
-		for q := 0; q < 3000; q++ {
-			if _, err := cli.Get(netcache.KeyName(zipf.SampleRank(rng))); err != nil {
-				fmt.Println("error:", err)
-				return
+		for q := 0; q < 3000; q += len(batch) {
+			for i := range batch {
+				batch[i] = netcache.KeyName(zipf.SampleRank(rng))
+			}
+			_, errs := cli.GetBatch(batch)
+			for _, err := range errs {
+				if err != nil {
+					fmt.Println("error:", err)
+					return
+				}
 			}
 		}
 		fb.Tick()

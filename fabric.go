@@ -24,6 +24,11 @@ type LeafSpineConfig struct {
 	// Switch optionally overrides the switch program used at both
 	// layers.
 	Switch SwitchConfig
+	// Window is the clients' closed-loop pipelining depth for
+	// GetBatch/GetMulti (outstanding requests per batch); zero uses the
+	// client default of 32. Batches ride the vectorized injection path
+	// across the inter-switch trunks.
+	Window int
 }
 
 // Fabric is an assembled leaf-spine NetCache deployment: every switch runs
@@ -43,6 +48,7 @@ func NewLeafSpine(cfg LeafSpineConfig) (*Fabric, error) {
 		Switch:         cfg.Switch,
 		SpineCache:     cfg.SpineCache,
 		TorCache:       cfg.TorCache,
+		ClientWindow:   cfg.Window,
 	})
 	if err != nil {
 		return nil, err
@@ -91,3 +97,16 @@ func (fb *Fabric) TorCacheLen(r int) int {
 
 // RackOf returns the rack index owning key.
 func (fb *Fabric) RackOf(key Key) int { return fb.f.RackOf(key) }
+
+// RebootSpine power-cycles the spine switch. Routes are re-provisioned
+// immediately; until the spine controller's next Tick every query falls
+// through to the ToR tier, which keeps serving its cached rack heads.
+func (fb *Fabric) RebootSpine() error { return fb.f.RebootSpine() }
+
+// RebootTor power-cycles rack r's ToR switch.
+func (fb *Fabric) RebootTor(r int) error { return fb.f.RebootTor(r) }
+
+// SetUplinkDown cuts (or restores) rack r's spine↔ToR trunk, as with an
+// unplugged inter-switch cable: keys cached at the spine keep being served,
+// everything else toward the rack times out until the link comes back.
+func (fb *Fabric) SetUplinkDown(r int, down bool) { fb.f.SetUplinkDown(r, down) }

@@ -83,7 +83,7 @@ type Report struct {
 
 	Ops, Timeouts uint64
 	// Fault-fabric activity, proving the scenario exercised the fabric.
-	Duplicated, Reordered, CorruptInjected, PartitionDropped, LossDropped uint64
+	Duplicated, Reordered, CorruptInjected, PartitionDropped, LossDropped, DownDropped uint64
 	// Lifecycle activity.
 	ServerCrashes, SwitchReboots, ControllerRestarts int
 }

@@ -1,0 +1,71 @@
+package chaos
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// TestChaosMultiRack is the multi-tier counterpart of TestChaos: for every
+// seed the leaf-spine fabric endures lossy/duplicating/reordering uplinks,
+// an uplink partition, a mid-workload spine reboot, a ToR reboot, a server
+// crash and controller churn at both tiers — while per-key freshness,
+// durability and cross-rack convergence hold.
+func TestChaosMultiRack(t *testing.T) {
+	for _, seed := range seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := RunMultiRack(MultiRackConfig{Seed: seed})
+			if err != nil {
+				t.Fatalf("multirack chaos run error (rerun with -chaos.seed=%d): %v", seed, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if rep.Failed() {
+				t.Logf("timeline (rerun with -chaos.seed=%d):", seed)
+				for _, e := range rep.Events {
+					t.Logf("  %s", e)
+				}
+				t.Fatalf("%d invariant violations at seed %d — rerun with -chaos.seed=%d",
+					len(rep.Violations), seed, seed)
+			}
+			// Lifecycle coverage: the scenario always crashes a server,
+			// reboots the spine AND a ToR, and restarts both tiers'
+			// controllers.
+			if rep.ServerCrashes == 0 || rep.SwitchReboots < 2 || rep.ControllerRestarts < 2 {
+				t.Errorf("seed %d: lifecycle coverage: crashes=%d reboots=%d ctl-restarts=%d",
+					seed, rep.ServerCrashes, rep.SwitchReboots, rep.ControllerRestarts)
+			}
+			// Fault coverage: trunk loss/dup/reorder/corruption and the
+			// phase-long uplink cut must all have bitten.
+			if rep.Duplicated == 0 || rep.Reordered == 0 || rep.CorruptInjected == 0 ||
+				rep.LossDropped == 0 || rep.DownDropped == 0 {
+				t.Errorf("seed %d: fault coverage: dup=%d reorder=%d corrupt=%d loss=%d down=%d",
+					seed, rep.Duplicated, rep.Reordered, rep.CorruptInjected,
+					rep.LossDropped, rep.DownDropped)
+			}
+			if rep.Ops == 0 || rep.Ops == rep.Timeouts {
+				t.Errorf("seed %d: workload did not run meaningfully: ops=%d timeouts=%d",
+					seed, rep.Ops, rep.Timeouts)
+			}
+		})
+	}
+}
+
+// The multi-rack scenario is a pure function of the seed.
+func TestMultiRackScenarioDeterministicPerSeed(t *testing.T) {
+	cfg := MultiRackConfig{Seed: 42}
+	cfg.fill()
+	a := buildMultiRackScenario(cfg)
+	b := buildMultiRackScenario(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed should derive the same multi-rack scenario")
+	}
+	cfg2 := MultiRackConfig{Seed: 43}
+	cfg2.fill()
+	c := buildMultiRackScenario(cfg2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should derive different scenarios")
+	}
+}

@@ -427,4 +427,5 @@ func (rn *runner) snapshotCounters() {
 	rn.report.CorruptInjected = n.CorruptInjected.Value()
 	rn.report.PartitionDropped = n.PartitionDropped.Value()
 	rn.report.LossDropped = n.LossDropped.Value()
+	rn.report.DownDropped = n.DownDropped.Value()
 }

@@ -140,6 +140,7 @@ func Experiments() []Experiment {
 		{"resources", "Switch resource usage (§6)", Resources},
 		{"xval", "Packet-level cross-validation of the capacity model", XVal},
 		{"chaosbench", "Rack throughput under fault injection", ChaosBench},
+		{"multirack", "Leaf-spine fabric throughput under uplink fault injection", MultiRackBench},
 	}
 	return append(builtin, extra...)
 }

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"netcache/internal/leafspine"
+	"netcache/internal/netproto"
+	"netcache/internal/simnet"
+	"netcache/internal/workload"
+)
+
+// MultiRackParams sizes the multirack experiment's topology. Overridden by
+// the netcache-bench -racks / -servers-per-rack / -spine-cache / -tor-cache
+// flags.
+var MultiRackParams = struct {
+	Racks, ServersPerRack int
+	SpineCache, TorCache  int
+}{Racks: 2, ServersPerRack: 4, SpineCache: 32, TorCache: 32}
+
+// MultiRackBench measures the packet-level leaf-spine fabric — §5's
+// spine-tier caching realized on internal/fabric trunks — under the same
+// fault mix chaosbench applies to a single rack, except that here the
+// faults land on the inter-switch uplinks (the links a single rack does
+// not have) and the periodic reboot power-cycles the *spine*, so the rows
+// show what the ToR tier absorbs while the upper cache layer is degraded.
+// Not a paper figure — the paper's Fig. 10f models scalability analytically;
+// this is the executable counterpart at unit-test scale.
+func MultiRackBench(quick bool) (*Table, error) {
+	ops := 40000
+	if quick {
+		ops = 8000
+	}
+	p := MultiRackParams
+	t := &Table{
+		ID: "multirack",
+		Title: fmt.Sprintf("leaf-spine fabric throughput under uplink fault injection (%d racks x %d servers, 2 clients, zipf-0.95 reads, 10%% writes)",
+			p.Racks, p.ServersPerRack),
+		Columns: []string{"racks", "servers", "window", "loss", "dup", "reorder", "corrupt", "spine_reboots", "kops_s", "timeout_pct", "retx_pct"},
+		Notes: []string{
+			"rates are per-frame fault probabilities on every spine<->ToR uplink (both directions) and client uplinks;",
+			"spine_reboots: mid-run spine power-cycles (ToR caches keep serving their rack heads);",
+			"window>1 pipelines reads through GetBatch with that many outstanding (writes flush the window);",
+			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op",
+		},
+	}
+	rows := []struct {
+		p      FaultParams
+		window int
+	}{
+		{FaultParams{}, 1},
+		{FaultParams{}, ChaosWindow},
+		{ChaosParams, 1},
+		{ChaosParams, ChaosWindow},
+	}
+	for _, row := range rows {
+		kops, timeoutPct, retxPct, reboots, err := runMultiRackBench(row.p, ops, row.window)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(float64(p.Racks), float64(p.ServersPerRack), float64(row.window),
+			row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
+			float64(reboots), kops, timeoutPct, retxPct)
+	}
+	return t, nil
+}
+
+func runMultiRackBench(p FaultParams, totalOps, window int) (kops, timeoutPct, retxPct float64, reboots int, err error) {
+	const (
+		clients = 2
+		nKeys   = 2000
+	)
+	if window < 1 {
+		window = 1
+	}
+	mp := MultiRackParams
+	f, err := leafspine.New(leafspine.Config{
+		Racks:          mp.Racks,
+		ServersPerRack: mp.ServersPerRack,
+		Clients:        clients,
+		SpineCache:     mp.SpineCache,
+		TorCache:       mp.TorCache,
+		ClientTimeout:  2 * time.Millisecond,
+		ClientRetries:  2,
+		ClientPolicy:   ChaosPolicy,
+		ClientWindow:   window,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	f.LoadDataset(nKeys, 64)
+	// Pre-populate both layers with the workload's head: the global
+	// hottest keys at the spine, the next tier at the owning ToRs —
+	// the steady state the controllers converge to.
+	_, spineCtl := f.Spine()
+	for i := 0; i < mp.SpineCache; i++ {
+		if err := spineCtl.InsertKey(workload.KeyName(i)); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("harness: multirack spine pre-populate: %w", err)
+		}
+	}
+	perRack := make([]int, mp.Racks)
+	for i := mp.SpineCache; i < nKeys; i++ {
+		key := workload.KeyName(i)
+		r := f.RackOf(key)
+		if perRack[r] >= mp.TorCache {
+			continue
+		}
+		_, torCtl := f.Tor(r)
+		if err := torCtl.InsertKey(key); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("harness: multirack tor pre-populate: %w", err)
+		}
+		perRack[r]++
+	}
+
+	if p.faulty() {
+		rule := simnet.FaultRule{
+			Loss: p.Loss, Dup: p.Dup, Corrupt: p.Corrupt,
+			Reorder: p.Reorder, ReorderDepth: 4,
+		}
+		net := f.SpineNode().Net
+		for r := 0; r < mp.Racks; r++ {
+			net.SetFault(f.SpineDownlinkPort(r), simnet.FromSwitch, rule)
+			net.SetFault(f.SpineDownlinkPort(r), simnet.ToSwitch, rule)
+		}
+		for j := 0; j < clients; j++ {
+			net.SetFault(f.SpineClientPort(j), simnet.ToSwitch, rule)
+		}
+	}
+
+	zipf, err := workload.NewZipf(nKeys, 0.95)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	pop := workload.NewPopularity(nKeys)
+
+	chunk := totalOps
+	if p.RebootEvery > 0 && p.RebootEvery < chunk {
+		chunk = p.RebootEvery
+	}
+	start := time.Now()
+	for done := 0; done < totalOps; done += chunk {
+		n := chunk
+		if totalOps-done < n {
+			n = totalOps - done
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c, n, base int) {
+				defer wg.Done()
+				cli := f.Client(c)
+				gen, _ := workload.NewGenerator(workload.GeneratorConfig{
+					Reads:      workload.ZipfDist{Z: zipf, Pop: pop},
+					Writes:     workload.UniformDist{N: nKeys},
+					WriteRatio: 0.1,
+					Seed:       int64(base + c),
+				})
+				var batch []netproto.Key
+				if window > 1 {
+					batch = make([]netproto.Key, 0, window)
+				}
+				flush := func() {
+					if len(batch) > 0 {
+						cli.GetBatch(batch)
+						batch = batch[:0]
+					}
+				}
+				for i := 0; i < n; i++ {
+					q := gen.Next()
+					key := workload.KeyName(q.Key)
+					switch {
+					case q.Write:
+						flush() // read-your-write order within the client
+						cli.Put(key, workload.ValueFor(q.Key, 64))
+					case window > 1:
+						if batch = append(batch, key); len(batch) == window {
+							flush()
+						}
+					default:
+						cli.Get(key)
+					}
+				}
+				flush()
+			}(c, n/clients, done)
+		}
+		wg.Wait()
+		if p.RebootEvery > 0 && done+n < totalOps {
+			if err := f.RebootSpine(); err != nil {
+				return 0, 0, 0, 0, fmt.Errorf("harness: multirack spine reboot: %w", err)
+			}
+			reboots++
+			f.Tick()
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+
+	var sent, retx, timeouts, hedges uint64
+	for _, cl := range f.AllClients() {
+		sent += cl.Metrics.Sent.Value()
+		retx += cl.Metrics.Retransmit.Value()
+		timeouts += cl.Metrics.Timeouts.Value()
+		hedges += cl.Metrics.Hedges.Value()
+	}
+	opsDone := float64(sent - retx - hedges) // first attempts == ops issued
+	kops = opsDone / elapsed / 1e3
+	timeoutPct = 100 * float64(timeouts) / opsDone
+	retxPct = 100 * float64(retx) / opsDone
+	return kops, timeoutPct, retxPct, reboots, nil
+}

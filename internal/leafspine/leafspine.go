@@ -1,14 +1,26 @@
-// Package leafspine is a packet-level prototype of multi-rack NetCache —
-// the §5 future work ("cache hot items to higher-level switches in a
-// datacenter network, e.g., spine switches") behind the Fig. 10f
-// simulation, realized with the same compiled switch program at both
-// layers.
+// Package leafspine is the packet-level multi-rack NetCache — the §5
+// future work ("cache hot items to higher-level switches in a datacenter
+// network, e.g., spine switches") behind the Fig. 10f simulation, realized
+// with the same compiled switch program at both layers.
 //
 // Topology: clients attach to one spine switch; below it, each rack has a
 // ToR switch in front of its storage servers. Every switch runs the full
 // NetCache pipeline. The spine's controller caches the global head (it
 // observes all client traffic); each ToR's controller caches its rack's
 // head among the queries the spine missed.
+//
+// The fabric is assembled entirely from internal/fabric nodes: every
+// switch owns its own simnet.Net, and the spine↔ToR uplinks are real
+// fabric.Link trunks, so the whole simnet fault machinery — loss,
+// duplication, corruption, reordering, partitions, port-down — applies to
+// inter-switch links exactly as to server and client links, and the
+// component lifecycle (server crash/restart, switch reboot at either tier,
+// controller restart with warm adoption) is the same machinery a single
+// rack uses. Nothing is hand-delivered: a frame that the spine emits on a
+// downlink traverses the spine net's egress fault rules, the ToR net's
+// ingress fault rules, and only then the ToR pipeline. Process errors on
+// any hop surface as the owning net's ProcessErrors counter; unroutable
+// emissions as its Unattached counter.
 //
 // Coherence across the two cache layers composes from the single-switch
 // protocol, exactly as §4.3's wording anticipates:
@@ -27,9 +39,11 @@ package leafspine
 
 import (
 	"fmt"
+	"time"
 
 	"netcache/internal/client"
 	"netcache/internal/controller"
+	"netcache/internal/fabric"
 	"netcache/internal/netproto"
 	"netcache/internal/server"
 	"netcache/internal/switchcore"
@@ -49,23 +63,31 @@ type Config struct {
 	// SpineCache and TorCache cap each layer's cached items; zero means
 	// the switch limit.
 	SpineCache, TorCache int
-}
-
-// rackUnit is one rack: ToR switch, servers, controller.
-type rackUnit struct {
-	tor     *switchcore.Switch
-	servers []*server.Server
-	ctl     *controller.Controller
+	// ClientTimeout overrides the clients' per-attempt reply timeout;
+	// zero keeps the client default.
+	ClientTimeout time.Duration
+	// ClientRetries overrides the clients' retransmission budget; zero
+	// keeps the client default (client.NoRetries requests zero).
+	ClientRetries int
+	// ClientPolicy tunes the clients' adaptive retransmission path; the
+	// zero value adapts with the client defaults.
+	ClientPolicy client.Policy
+	// ClientWindow sets the clients' closed-loop pipelining depth
+	// (client.Config.Window); zero keeps the client default. Clients are
+	// wired to the vectorized batch path either way, so GetBatch issues
+	// windowed bursts even across racks.
+	ClientWindow int
 }
 
 // Fabric is the assembled leaf-spine deployment.
 type Fabric struct {
 	cfg Config
 
-	spine    *switchcore.Switch
-	spineCtl *controller.Controller
-	racks    []*rackUnit
-	clients  []*client.Client
+	spine *fabric.Node
+	tors  []*fabric.Node
+	// servers[r][s] is server s of rack r.
+	servers [][]*server.Server
+	clients []*client.Client
 
 	// Partition maps keys to owning server addresses, shared fabric-wide.
 	Partition client.Partitioner
@@ -80,23 +102,26 @@ func (c Config) serverAddr(rack, srv int) netproto.Addr {
 	return netproto.Addr(1 + rack*c.ServersPerRack + srv)
 }
 
-// Port plan. Spine: ports [0,Racks) are downlinks, [Racks, Racks+Clients)
-// are clients. ToR: ports [0,ServersPerRack) are servers, port
-// ServersPerRack is the uplink.
+// Port plan. Spine: ports [0,Racks) are downlinks (one trunk per rack),
+// [Racks, Racks+Clients) are clients. ToR: ports [0,ServersPerRack) are
+// servers, port ServersPerRack is the uplink trunk.
 func (c Config) spineClientPort(i int) int { return c.Racks + i }
 func (c Config) torUplinkPort() int        { return c.ServersPerRack }
+
+// SpineDownlinkPort returns the spine port of rack r's trunk — the
+// spine-side handle for uplink fault injection.
+func (f *Fabric) SpineDownlinkPort(r int) int { return r }
+
+// SpineClientPort returns the spine port of client i.
+func (f *Fabric) SpineClientPort(i int) int { return f.cfg.spineClientPort(i) }
+
+// TorUplinkPort returns the ToR-side port of every rack's trunk.
+func (f *Fabric) TorUplinkPort() int { return f.cfg.torUplinkPort() }
 
 // New assembles and wires the fabric.
 func New(cfg Config) (*Fabric, error) {
 	if cfg.Racks < 1 || cfg.ServersPerRack < 1 || cfg.Clients < 1 {
 		return nil, fmt.Errorf("leafspine: racks, servers and clients must all be >= 1")
-	}
-	if cfg.Switch.CacheSize == 0 {
-		cfg.Switch = switchcore.TestConfig()
-	}
-	if cfg.Racks+cfg.Clients > cfg.Switch.Chip.NumPorts() ||
-		cfg.ServersPerRack+1 > cfg.Switch.Chip.NumPorts() {
-		return nil, fmt.Errorf("leafspine: topology exceeds switch ports")
 	}
 
 	f := &Fabric{
@@ -106,93 +131,97 @@ func New(cfg Config) (*Fabric, error) {
 	}
 
 	var err error
-	if f.spine, err = switchcore.New(cfg.Switch); err != nil {
-		return nil, fmt.Errorf("leafspine: spine: %w", err)
+	if f.spine, err = fabric.NewNode("spine", cfg.Switch); err != nil {
+		return nil, err
+	}
+	if cfg.Racks+cfg.Clients > f.spine.NumPorts() ||
+		cfg.ServersPerRack+1 > f.spine.NumPorts() {
+		return nil, fmt.Errorf("leafspine: topology exceeds switch ports")
 	}
 
-	// Servers and partitioning.
+	// Racks: one ToR node each, servers attached to its downlink ports,
+	// and the uplink trunk cabled to the spine's per-rack port.
 	allAddrs := make([]netproto.Addr, 0, cfg.Racks*cfg.ServersPerRack)
 	allNodes := make(map[netproto.Addr]controller.StorageNode)
 	for r := 0; r < cfg.Racks; r++ {
-		unit := &rackUnit{}
-		if unit.tor, err = switchcore.New(cfg.Switch); err != nil {
-			return nil, fmt.Errorf("leafspine: tor %d: %w", r, err)
+		tor, err := fabric.NewNode(fmt.Sprintf("tor%d", r), cfg.Switch)
+		if err != nil {
+			return nil, err
 		}
+		rackServers := make([]*server.Server, 0, cfg.ServersPerRack)
 		for s := 0; s < cfg.ServersPerRack; s++ {
 			addr := cfg.serverAddr(r, s)
 			srv := server.New(server.Config{Addr: addr, Shards: 2})
-			rr, ss := r, s
-			srv.SetSend(func(frame []byte) { f.deliverToTor(rr, frame, ss) })
-			unit.servers = append(unit.servers, srv)
+			if err := tor.AttachServer(s, srv); err != nil {
+				return nil, err
+			}
+			rackServers = append(rackServers, srv)
 			f.serverByAddr[addr] = srv
 			f.rackOfAddr[addr] = r
 			allAddrs = append(allAddrs, addr)
 			allNodes[addr] = srv
 		}
-		f.racks = append(f.racks, unit)
+		fabric.Link(f.spine, r, tor, cfg.torUplinkPort())
+		f.tors = append(f.tors, tor)
+		f.servers = append(f.servers, rackServers)
 	}
 	f.Partition = client.HashPartitioner(allAddrs)
 
-	// Routing. Spine: servers via their rack's downlink, clients direct.
+	// Routing. Spine: servers via their rack's downlink trunk (client
+	// routes are provisioned by AttachClient below). ToR r: own servers
+	// at their ports (provisioned by AttachServer); everything else —
+	// clients, other racks' servers — via the uplink trunk.
 	for addr, r := range f.rackOfAddr {
 		if err := f.spine.InstallRoute(addr, r); err != nil {
 			return nil, err
 		}
 	}
-	for i := 0; i < cfg.Clients; i++ {
-		addr := netproto.Addr(0x8000 + i)
-		if err := f.spine.InstallRoute(addr, cfg.spineClientPort(i)); err != nil {
-			return nil, err
-		}
-	}
-	// ToR r: own servers at their ports; everything else (clients, other
-	// racks' servers) via the uplink.
-	for r, unit := range f.racks {
-		for s := 0; s < cfg.ServersPerRack; s++ {
-			if err := unit.tor.InstallRoute(cfg.serverAddr(r, s), s); err != nil {
-				return nil, err
-			}
-		}
+	for r, tor := range f.tors {
 		for addr, rr := range f.rackOfAddr {
 			if rr == r {
 				continue
 			}
-			if err := unit.tor.InstallRoute(addr, cfg.torUplinkPort()); err != nil {
+			if err := tor.InstallRoute(addr, cfg.torUplinkPort()); err != nil {
 				return nil, err
 			}
 		}
 		for i := 0; i < cfg.Clients; i++ {
-			if err := unit.tor.InstallRoute(netproto.Addr(0x8000+i), cfg.torUplinkPort()); err != nil {
+			if err := tor.InstallRoute(netproto.Addr(0x8000+i), cfg.torUplinkPort()); err != nil {
 				return nil, err
 			}
 		}
 	}
 
-	// Clients.
+	// Clients attach to the spine, batch path and pipelining window
+	// included — GetBatch issues windowed bursts across the whole fabric.
 	for i := 0; i < cfg.Clients; i++ {
 		cl, err := client.New(client.Config{
 			Addr:      netproto.Addr(0x8000 + i),
 			Partition: f.Partition,
+			Timeout:   cfg.ClientTimeout,
+			Retries:   cfg.ClientRetries,
+			Policy:    cfg.ClientPolicy,
+			Window:    cfg.ClientWindow,
 		})
 		if err != nil {
 			return nil, err
 		}
-		port := cfg.spineClientPort(i)
-		cl.SetSend(func(frame []byte) { f.deliverToSpine(frame, port) })
+		if err := f.spine.AttachClient(cfg.spineClientPort(i), cl); err != nil {
+			return nil, err
+		}
 		f.clients = append(f.clients, cl)
 	}
 
 	// Controllers. Each ToR owns its rack; the spine owns everything,
-	// with cache entries pointing at the owning rack's downlink.
-	for r, unit := range f.racks {
+	// with cache entries pointing at the owning rack's downlink trunk.
+	for r, tor := range f.tors {
 		r := r
 		rackNodes := make(map[netproto.Addr]controller.StorageNode)
 		for s := 0; s < cfg.ServersPerRack; s++ {
 			addr := cfg.serverAddr(r, s)
 			rackNodes[addr] = f.serverByAddr[addr]
 		}
-		unit.ctl, err = controller.New(controller.Config{
-			Switch:    unit.tor,
+		if err := tor.SetController(controller.Config{
 			Nodes:     rackNodes,
 			Partition: func(key netproto.Key) netproto.Addr { return f.Partition(key) },
 			PortOf: func(addr netproto.Addr) (int, bool) {
@@ -203,73 +232,50 @@ func New(cfg Config) (*Fabric, error) {
 			},
 			Capacity: cfg.TorCache,
 			Seed:     int64(r + 1),
-		})
-		if err != nil {
+		}); err != nil {
 			return nil, err
 		}
 	}
-	f.spineCtl, err = controller.New(controller.Config{
-		Switch:    f.spine,
+	if err := f.spine.SetController(controller.Config{
 		Nodes:     allNodes,
 		Partition: func(key netproto.Key) netproto.Addr { return f.Partition(key) },
 		PortOf: func(addr netproto.Addr) (int, bool) {
 			r, ok := f.rackOfAddr[addr]
-			return r, ok // the downlink toward the owning rack
+			return r, ok // the downlink trunk toward the owning rack
 		},
 		Capacity: cfg.SpineCache,
-	})
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// deliverToSpine processes a frame at the spine and fans out the emissions.
-func (f *Fabric) deliverToSpine(frame []byte, inPort int) {
-	out, err := f.spine.Process(frame, inPort)
-	if err != nil {
-		return
-	}
-	for _, em := range out {
-		switch {
-		case em.Port < f.cfg.Racks:
-			// Downlink: into that rack's ToR at its uplink port.
-			f.deliverToTor(em.Port, em.Frame, f.cfg.torUplinkPort())
-		case em.Port < f.cfg.Racks+f.cfg.Clients:
-			f.clients[em.Port-f.cfg.Racks].Receive(em.Frame)
-		}
-	}
-}
-
-// deliverToTor processes a frame at rack r's ToR and fans out the emissions.
-func (f *Fabric) deliverToTor(r int, frame []byte, inPort int) {
-	unit := f.racks[r]
-	out, err := unit.tor.Process(frame, inPort)
-	if err != nil {
-		return
-	}
-	for _, em := range out {
-		switch {
-		case em.Port < f.cfg.ServersPerRack:
-			unit.servers[em.Port].Receive(em.Frame)
-		case em.Port == f.cfg.torUplinkPort():
-			f.deliverToSpine(em.Frame, r)
-		}
-	}
-}
-
 // Client returns client i's handle.
 func (f *Fabric) Client(i int) *client.Client { return f.clients[i] }
 
+// Clients returns every client handle.
+func (f *Fabric) AllClients() []*client.Client { return f.clients }
+
 // Spine returns the spine switch and its controller.
 func (f *Fabric) Spine() (*switchcore.Switch, *controller.Controller) {
-	return f.spine, f.spineCtl
+	return f.spine.Switch, f.spine.Controller
 }
 
 // Tor returns rack r's ToR switch and controller.
 func (f *Fabric) Tor(r int) (*switchcore.Switch, *controller.Controller) {
-	return f.racks[r].tor, f.racks[r].ctl
+	return f.tors[r].Switch, f.tors[r].Controller
 }
+
+// SpineNode returns the spine's fabric node — fault rules installed on its
+// net address the downlink trunks (ports [0,Racks)) and client links.
+func (f *Fabric) SpineNode() *fabric.Node { return f.spine }
+
+// TorNode returns rack r's fabric node — fault rules installed on its net
+// address the rack's server links and the uplink trunk.
+func (f *Fabric) TorNode(r int) *fabric.Node { return f.tors[r] }
+
+// Server returns server s of rack r.
+func (f *Fabric) Server(r, s int) *server.Server { return f.servers[r][s] }
 
 // ServerOf returns the agent owning key.
 func (f *Fabric) ServerOf(key netproto.Key) *server.Server {
@@ -292,10 +298,46 @@ func (f *Fabric) LoadDataset(n, valueSize int) {
 // Tick runs one controller cycle at every layer: ToRs first (rack-local
 // heads), then the spine (global head).
 func (f *Fabric) Tick() {
-	for _, unit := range f.racks {
-		unit.tor.SyncDigests()
-		unit.ctl.Tick()
+	for _, tor := range f.tors {
+		tor.Tick()
 	}
-	f.spine.SyncDigests()
-	f.spineCtl.Tick()
+	f.spine.Tick()
+}
+
+// CrashServer crashes server s of rack r: process state discarded, ToR
+// port down.
+func (f *Fabric) CrashServer(r, s int) { f.tors[r].CrashServer(s) }
+
+// RestartServer restores server s of rack r, optionally wiping its store.
+func (f *Fabric) RestartServer(r, s int, wipeStore bool) {
+	f.tors[r].RestartServer(s, wipeStore)
+}
+
+// RebootSpine power-cycles the spine switch: cache and routes wiped,
+// routes immediately re-provisioned. Until the spine controller's next
+// Tick, every query falls through to the ToR tier — which keeps serving
+// its own cached heads.
+func (f *Fabric) RebootSpine() error { return f.spine.Reboot() }
+
+// RebootTor power-cycles rack r's ToR switch.
+func (f *Fabric) RebootTor(r int) error { return f.tors[r].Reboot() }
+
+// RestartSpineController replaces the spine controller process (warm
+// adoption with rebuild, cold wipe without).
+func (f *Fabric) RestartSpineController(rebuild bool) error {
+	return f.spine.RestartController(rebuild)
+}
+
+// RestartTorController replaces rack r's ToR controller process.
+func (f *Fabric) RestartTorController(r int, rebuild bool) error {
+	return f.tors[r].RestartController(rebuild)
+}
+
+// SetUplinkDown cuts (or restores) rack r's uplink trunk at the spine
+// side: frames the spine emits toward the rack and frames arriving from
+// the rack's ToR are both discarded, as with an unplugged inter-switch
+// cable. Keys cached at the spine keep being served; everything else
+// toward the rack times out at the clients until the link comes back.
+func (f *Fabric) SetUplinkDown(r int, down bool) {
+	f.spine.Net.SetPortDown(r, down)
 }

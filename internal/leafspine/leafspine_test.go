@@ -1,9 +1,13 @@
 package leafspine
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	"netcache/internal/client"
+	"netcache/internal/netproto"
+	"netcache/internal/simnet"
 	"netcache/internal/workload"
 )
 
@@ -243,5 +247,254 @@ func TestZipfTrafficBalancesFabric(t *testing.T) {
 	}
 	if total == 0 {
 		t.Error("no ToR cached anything under Zipf traffic")
+	}
+}
+
+// --- simnet-backed fabric: uplink faults, lifecycle, batched clients ---
+
+// faultFabric builds a fabric with chaos-friendly client settings: short
+// timeouts so fault-induced losses cost milliseconds, seeded jitter so the
+// run replays.
+func faultFabric(t *testing.T, racks, servers int) *Fabric {
+	t.Helper()
+	f, err := New(Config{
+		Racks: racks, ServersPerRack: servers, Clients: 1,
+		SpineCache: 16, TorCache: 16,
+		ClientTimeout: 2 * time.Millisecond, ClientRetries: 2,
+		ClientPolicy: client.Policy{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// keyInRack returns a dataset key owned by rack r.
+func keyInRack(t *testing.T, f *Fabric, r, nKeys int) netproto.Key {
+	t.Helper()
+	for id := 0; id < nKeys; id++ {
+		if key := workload.KeyName(id); f.RackOf(key) == r {
+			return key
+		}
+	}
+	t.Fatalf("no key of %d owned by rack %d", nKeys, r)
+	return netproto.Key{}
+}
+
+// Uplinks are real simnet links now: a loss rule on the spine's downlink
+// trunk kills traffic into that rack, counts LossDropped on the spine net,
+// and clearing it restores service — none of which the old hand-wired
+// delivery closures could express.
+func TestUplinkLossAppliesToTrunk(t *testing.T) {
+	f := faultFabric(t, 2, 2)
+	const nKeys = 40
+	f.LoadDataset(nKeys, 24)
+	cli := f.Client(0)
+	key := keyInRack(t, f, 1, nKeys)
+
+	f.SpineNode().Net.SetFault(f.SpineDownlinkPort(1), simnet.FromSwitch, simnet.FaultRule{Loss: 1})
+	if _, err := cli.Get(key); err != client.ErrTimeout {
+		t.Fatalf("get across a fully lossy uplink: %v", err)
+	}
+	if f.SpineNode().Net.LossDropped.Value() == 0 {
+		t.Error("trunk loss not accounted on the spine net")
+	}
+	f.SpineNode().Net.ClearFaults()
+	if v, err := cli.Get(key); err != nil || len(v) == 0 {
+		t.Fatalf("get after healing the uplink: %q %v", v, err)
+	}
+}
+
+// SetUplinkDown cuts one rack off. Keys cached at the spine keep being
+// served without touching the rack; everything else toward the rack times
+// out; the other rack is untouched; the link coming back restores service.
+func TestUplinkPartitionServesSpineCachedKeys(t *testing.T) {
+	f := faultFabric(t, 2, 2)
+	const nKeys = 40
+	f.LoadDataset(nKeys, 24)
+	cli := f.Client(0)
+	cached := keyInRack(t, f, 1, nKeys)
+	_, spineCtl := f.Spine()
+	if err := spineCtl.InsertKey(cached); err != nil {
+		t.Fatal(err)
+	}
+
+	f.SetUplinkDown(1, true)
+	srv := f.ServerOf(cached)
+	gets := srv.Metrics.Gets.Value()
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Get(cached); err != nil {
+			t.Fatalf("spine-cached key unavailable during uplink cut: %v", err)
+		}
+	}
+	if srv.Metrics.Gets.Value() != gets {
+		t.Error("spine-cached reads crossed a downed uplink")
+	}
+	// An uncached key of the cut rack times out; the other rack serves.
+	var uncached netproto.Key
+	for id := 0; id < nKeys; id++ {
+		k := workload.KeyName(id)
+		if f.RackOf(k) == 1 && !spineCtl.Cached(k) {
+			uncached = k
+			break
+		}
+	}
+	if _, err := cli.Get(uncached); err != client.ErrTimeout {
+		t.Fatalf("uncached key of the cut rack: %v", err)
+	}
+	if err := cli.Put(uncached, []byte("doomed")); err != client.ErrTimeout {
+		t.Fatalf("write into the cut rack: %v", err)
+	}
+	other := keyInRack(t, f, 0, nKeys)
+	if _, err := cli.Get(other); err != nil {
+		t.Fatalf("healthy rack suffered from the cut: %v", err)
+	}
+	if f.SpineNode().Net.DownDropped.Value() == 0 {
+		t.Error("downed uplink not accounted on the spine net")
+	}
+
+	f.SetUplinkDown(1, false)
+	if _, err := cli.Get(uncached); err != nil {
+		t.Fatalf("get after uplink restore: %v", err)
+	}
+}
+
+// §4.3 coherence under uplink faults: with a key cached at BOTH layers and
+// the trunk losing, duplicating and reordering frames, an acknowledged
+// write is never shadowed by a stale cached copy — the single-writer
+// freshness invariant of the chaos oracle, cross-rack.
+func TestWriteCoherenceUnderUplinkFaults(t *testing.T) {
+	f := faultFabric(t, 2, 2)
+	const nKeys = 40
+	f.LoadDataset(nKeys, 24)
+	cli := f.Client(0)
+	key := keyInRack(t, f, 1, nKeys)
+	_, spineCtl := f.Spine()
+	_, torCtl := f.Tor(1)
+	if err := torCtl.InsertKey(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := spineCtl.InsertKey(key); err != nil {
+		t.Fatal(err)
+	}
+
+	rule := simnet.FaultRule{Loss: 0.15, Dup: 0.3, Reorder: 0.3, ReorderDepth: 3}
+	f.SpineNode().Net.Reseed(7)
+	f.SpineNode().Net.SetFault(f.SpineDownlinkPort(1), simnet.FromSwitch, rule)
+	f.SpineNode().Net.SetFault(f.SpineDownlinkPort(1), simnet.ToSwitch, rule)
+
+	version := func(v []byte) int {
+		var n int
+		fmt.Sscanf(string(v), "v%d", &n)
+		return n
+	}
+	floor := 0 // highest acked write version
+	for round := 1; round <= 25; round++ {
+		val := []byte(fmt.Sprintf("v%d", round))
+		if err := cli.Put(key, val); err == nil {
+			floor = round
+		}
+		v, err := cli.Get(key)
+		if err != nil {
+			continue // timeout: no observation to judge
+		}
+		got := version(v)
+		if got < floor || got > round {
+			t.Fatalf("round %d: read %q violates freshness (acked floor v%d)", round, v, floor)
+		}
+	}
+	spineNet := f.SpineNode().Net
+	if spineNet.Duplicated.Value() == 0 || spineNet.Reordered.Value() == 0 || spineNet.LossDropped.Value() == 0 {
+		t.Errorf("trunk fault coverage: dup=%d reorder=%d loss=%d",
+			spineNet.Duplicated.Value(), spineNet.Reordered.Value(), spineNet.LossDropped.Value())
+	}
+
+	// Heal, flush stranded holdbacks, converge: an acked write reads back
+	// exactly, and the client view matches the owning server's store.
+	spineNet.ClearFaults()
+	if err := spineNet.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Tick()
+	want := []byte("final")
+	for {
+		if err := cli.Put(key, want); err == nil {
+			break
+		}
+	}
+	v, err := cli.Get(key)
+	if err != nil || string(v) != string(want) {
+		t.Fatalf("post-heal read: %q %v", v, err)
+	}
+	stored, _, ok := f.ServerOf(key).Store().Get(key)
+	if !ok || string(stored) != string(want) {
+		t.Fatalf("store diverged: %q %v", stored, ok)
+	}
+}
+
+// A spine reboot mid-traffic loses the spine cache but not availability:
+// reads fall through to the ToR tier (which keeps its own cached heads),
+// and the spine controller repopulates on its next cycle.
+func TestSpineRebootFallsThroughToTors(t *testing.T) {
+	f := faultFabric(t, 2, 2)
+	const nKeys = 60
+	f.LoadDataset(nKeys, 24)
+	cli := f.Client(0)
+	hot := keyInRack(t, f, 0, nKeys)
+	for i := 0; i < 25; i++ {
+		if _, err := cli.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Tick() // ToR caches it
+	f.Tick() // spine caches it
+	_, spineCtl := f.Spine()
+	if !spineCtl.Cached(hot) {
+		t.Skip("hot key did not reach the spine cache in two cycles")
+	}
+
+	if err := f.RebootSpine(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if v, err := cli.Get(hot); err != nil || len(v) == 0 {
+			t.Fatalf("read %d after spine reboot: %q %v", i, v, err)
+		}
+	}
+	f.Tick()
+	if _, err := cli.Get(hot); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Leaf-spine clients ride the batched path now: GetBatch issues windowed
+// bursts through simnet.InjectBatch even when the keys fan out across
+// racks, with no retransmissions on a clean fabric.
+func TestBatchedGetAcrossRacks(t *testing.T) {
+	f, err := New(Config{
+		Racks: 3, ServersPerRack: 2, Clients: 1,
+		SpineCache: 16, TorCache: 16, ClientWindow: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nKeys = 48
+	f.LoadDataset(nKeys, 32)
+	cli := f.Client(0)
+	keys := make([]netproto.Key, nKeys)
+	for i := range keys {
+		keys[i] = workload.KeyName(i)
+	}
+	results, errs := cli.GetBatch(keys)
+	for i := range keys {
+		if errs[i] != nil || !workload.CheckValue(i, results[i]) {
+			t.Fatalf("batched get %d: %q %v", i, results[i], errs[i])
+		}
+	}
+	if got := cli.Metrics.Sent.Value(); got != nKeys {
+		t.Errorf("clean-fabric batch sent %d frames for %d keys", got, nKeys)
+	}
+	if cli.Metrics.Retransmit.Value() != 0 {
+		t.Errorf("clean-fabric batch retransmitted %d", cli.Metrics.Retransmit.Value())
 	}
 }

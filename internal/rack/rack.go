@@ -4,9 +4,13 @@
 // the controller managing the switch cache.
 //
 // The rack is the functional, packet-level system — every query is a real
-// frame through the compiled switch pipeline. Experiments that need
-// paper-scale numbers (128 servers, billions of QPS) use the capacity models
-// in internal/harness on top of the same components.
+// frame through the compiled switch pipeline. The wiring itself (switch +
+// simnet attachment, route provisioning, controller construction, the
+// crash/restart/reboot lifecycle) lives in internal/fabric; the rack is the
+// single-node composition of that layer, exactly as internal/leafspine is
+// its multi-node composition. Experiments that need paper-scale numbers
+// (128 servers, billions of QPS) use the capacity models in
+// internal/harness on top of the same components.
 package rack
 
 import (
@@ -15,6 +19,7 @@ import (
 
 	"netcache/internal/client"
 	"netcache/internal/controller"
+	"netcache/internal/fabric"
 	"netcache/internal/netproto"
 	"netcache/internal/server"
 	"netcache/internal/simnet"
@@ -74,7 +79,8 @@ func ClientAddr(i int) netproto.Addr { return netproto.Addr(clientAddrBase + i) 
 
 // Rack is an assembled NetCache storage rack.
 type Rack struct {
-	cfg Config
+	cfg  Config
+	node *fabric.Node
 
 	Switch     *switchcore.Switch
 	Net        *simnet.Net
@@ -87,19 +93,6 @@ type Rack struct {
 	Partition client.Partitioner
 
 	serverPorts map[netproto.Addr]int
-	// routes remembers every installed (addr, port) route so RebootSwitch
-	// can re-provision the wiped routing table, as a switch OS would from
-	// its startup config.
-	routes []route
-	// ctlCfg is kept so RestartController can build a replacement
-	// controller against the same rack.
-	ctlCfg controller.Config
-}
-
-// route is one provisioned routing-table entry.
-type route struct {
-	addr netproto.Addr
-	port int
 }
 
 // New builds and wires a rack.
@@ -110,26 +103,23 @@ func New(cfg Config) (*Rack, error) {
 	if cfg.Clients < 1 {
 		return nil, fmt.Errorf("rack: need at least one client, got %d", cfg.Clients)
 	}
-	if cfg.Switch.CacheSize == 0 {
-		cfg.Switch = switchcore.TestConfig()
-	}
 	if cfg.ServerShards <= 0 {
 		cfg.ServerShards = 4
 	}
-	nPorts := cfg.Switch.Chip.NumPorts()
-	if cfg.Servers+cfg.Clients > nPorts {
-		return nil, fmt.Errorf("rack: %d servers + %d clients exceed %d switch ports",
-			cfg.Servers, cfg.Clients, nPorts)
-	}
 
-	sw, err := switchcore.New(cfg.Switch)
+	node, err := fabric.NewNode("tor", cfg.Switch)
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Servers+cfg.Clients > node.NumPorts() {
+		return nil, fmt.Errorf("rack: %d servers + %d clients exceed %d switch ports",
+			cfg.Servers, cfg.Clients, node.NumPorts())
+	}
 	r := &Rack{
 		cfg:         cfg,
-		Switch:      sw,
-		Net:         simnet.New(sw),
+		node:        node,
+		Switch:      node.Switch,
+		Net:         node.Net,
 		serverPorts: make(map[netproto.Addr]int),
 	}
 
@@ -138,45 +128,34 @@ func New(cfg Config) (*Rack, error) {
 	nodes := make(map[netproto.Addr]controller.StorageNode, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		addr := ServerAddr(i)
-		port := i
 		srv := server.New(server.Config{Addr: addr, Shards: cfg.ServerShards, Engine: cfg.StorageEngine})
-		srv.SetSend(func(frame []byte) { r.Net.Inject(frame, port) })
-		r.Net.Attach(port, srv.Receive)
-		if err := sw.InstallRoute(addr, port); err != nil {
+		if err := node.AttachServer(i, srv); err != nil {
 			return nil, err
 		}
-		r.routes = append(r.routes, route{addr, port})
 		r.Servers = append(r.Servers, srv)
 		serverAddrs[i] = addr
 		nodes[addr] = srv
-		r.serverPorts[addr] = port
+		r.serverPorts[addr] = i
 	}
 	r.Partition = client.HashPartitioner(serverAddrs)
 
 	// Clients occupy the next ports: the upstream-facing side.
 	for i := 0; i < cfg.Clients; i++ {
-		addr := ClientAddr(i)
-		port := cfg.Servers + i
 		cl, err := client.New(client.Config{
-			Addr: addr, Partition: r.Partition,
+			Addr: ClientAddr(i), Partition: r.Partition,
 			Timeout: cfg.ClientTimeout, Retries: cfg.ClientRetries,
 			Policy: cfg.ClientPolicy, Window: cfg.ClientWindow,
 		})
 		if err != nil {
 			return nil, err
 		}
-		cl.SetSend(func(frame []byte) { r.Net.Inject(frame, port) })
-		cl.SetSendBatch(func(frames [][]byte) { r.Net.InjectBatch(frames, port) })
-		r.Net.Attach(port, cl.Receive)
-		if err := sw.InstallRoute(addr, port); err != nil {
+		if err := node.AttachClient(cfg.Servers+i, cl); err != nil {
 			return nil, err
 		}
-		r.routes = append(r.routes, route{addr, port})
 		r.Clients = append(r.Clients, cl)
 	}
 
-	r.ctlCfg = controller.Config{
-		Switch:    sw,
+	if err := node.SetController(controller.Config{
 		Nodes:     nodes,
 		Partition: func(key netproto.Key) netproto.Addr { return r.Partition(key) },
 		PortOf: func(addr netproto.Addr) (int, bool) {
@@ -186,12 +165,10 @@ func New(cfg Config) (*Rack, error) {
 		Capacity:    cfg.CacheCapacity,
 		SampleK:     cfg.ControllerSampleK,
 		WritePolicy: cfg.WritePolicy,
-	}
-	ctl, err := controller.New(r.ctlCfg)
-	if err != nil {
+	}); err != nil {
 		return nil, err
 	}
-	r.Controller = ctl
+	r.Controller = node.Controller
 	return r, nil
 }
 
@@ -232,26 +209,17 @@ func (r *Rack) PrePopulate(keys []netproto.Key) error {
 // Tick runs one controller cycle (cache update + statistics reset). It first
 // waits for in-flight hot-key digests from completed queries to reach the
 // controller, so a tick sees all the traffic that preceded it.
-func (r *Rack) Tick() {
-	r.Switch.SyncDigests()
-	r.Controller.Tick()
-}
+func (r *Rack) Tick() { r.node.Tick() }
 
 // CrashServer crashes server i: its process state is discarded and its
 // switch port goes down, so in-flight and future frames toward it vanish.
 // Cached keys it owns keep being served by the switch; uncached reads and
 // writes to its partition time out at the clients until RestartServer.
-func (r *Rack) CrashServer(i int) {
-	r.Servers[i].Crash()
-	r.Net.SetPortDown(i, true)
-}
+func (r *Rack) CrashServer(i int) { r.node.CrashServer(i) }
 
 // RestartServer brings a crashed server back, optionally wiping its store
 // (a replacement node instead of a process restart), and restores its link.
-func (r *Rack) RestartServer(i int, wipeStore bool) {
-	r.Servers[i].Restart(wipeStore)
-	r.Net.SetPortDown(i, false)
-}
+func (r *Rack) RestartServer(i int, wipeStore bool) { r.node.RestartServer(i, wipeStore) }
 
 // RebootSwitch power-cycles the ToR switch: all match tables and register
 // arrays are wiped. The rack immediately re-provisions the routing table
@@ -260,15 +228,7 @@ func (r *Rack) RestartServer(i int, wipeStore bool) {
 // servers simply absorb all queries" (§6). The cache itself stays empty
 // until the controller's next Tick detects the loss and reinstalls the
 // entries it tracks.
-func (r *Rack) RebootSwitch() error {
-	r.Switch.Reboot()
-	for _, rt := range r.routes {
-		if err := r.Switch.InstallRoute(rt.addr, rt.port); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+func (r *Rack) RebootSwitch() error { return r.node.Reboot() }
 
 // RestartController replaces the controller process. With rebuild the new
 // controller adopts the entries installed in the warm switch (recovering
@@ -278,22 +238,9 @@ func (r *Rack) RebootSwitch() error {
 // reads served by the switch were installed under write-blocking, and reads
 // not in the cache fall through to the servers.
 func (r *Rack) RestartController(rebuild bool) error {
-	if !rebuild {
-		for _, ie := range r.Switch.DumpCache() {
-			if _, err := r.Switch.RemoveCacheEntry(ie.Key, ie.KeyIndex); err != nil {
-				return err
-			}
-		}
-	}
-	ctl, err := controller.New(r.ctlCfg)
-	if err != nil {
+	if err := r.node.RestartController(rebuild); err != nil {
 		return err
 	}
-	if rebuild {
-		if err := ctl.AdoptFromSwitch(); err != nil {
-			return err
-		}
-	}
-	r.Controller = ctl
+	r.Controller = r.node.Controller
 	return nil
 }

@@ -187,13 +187,18 @@ type Net struct {
 	rngCtr atomic.Uint64 // splitmix64 counter stream for fault draws
 
 	// Delivered counts frames handed to endpoints; Unattached counts
-	// emissions to ports with no endpoint or cable; LossDropped counts
-	// frames discarded by loss injection. The remaining counters account
-	// for the other fault processes: duplicates injected, frames held back
-	// for reordering, frames corrupted, frames dropped by a partition, and
-	// frames dropped at a downed port.
+	// emissions to ports with no endpoint or cable; ProcessErrors counts
+	// frames the switch refused with an error (Inject still returns the
+	// error to its caller, but trunk handlers and endpoint send closures
+	// have no caller to return it to — the counter is how those paths
+	// surface it); LossDropped counts frames discarded by loss injection.
+	// The remaining counters account for the other fault processes:
+	// duplicates injected, frames held back for reordering, frames
+	// corrupted, frames dropped by a partition, and frames dropped at a
+	// downed port.
 	Delivered        stats.Counter
 	Unattached       stats.Counter
+	ProcessErrors    stats.Counter
 	LossDropped      stats.Counter
 	Duplicated       stats.Counter
 	Reordered        stats.Counter
@@ -546,6 +551,7 @@ func (n *Net) forward(frame []byte, inPort int, sink *batchSink) error {
 		out, err = n.sw.Process(frame, inPort)
 	}
 	if err != nil {
+		n.ProcessErrors.Inc()
 		return err
 	}
 	for _, em := range out {
