@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-json chaos experiments examples fuzz profile vet lint clean
+.PHONY: all test race bench bench-json chaos failover experiments examples fuzz profile vet lint clean
 
 all: test
 
@@ -20,7 +20,12 @@ race:
 # detector. Rerun a failing seed with:
 #   go test -race ./internal/chaos -run TestChaos -chaos.seed=<seed>
 chaos:
-	$(GO) test -race -v -run 'TestChaos' ./internal/chaos
+	$(GO) test -race -v -timeout 10m -run 'TestChaos' ./internal/chaos
+
+# Just the replicated-tier failover scenarios: permanent primary crash,
+# controller-driven failover, rejoin + anti-entropy resync, failback.
+failover:
+	$(GO) test -race -v -timeout 10m -run 'TestChaosFailover' ./internal/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,6 +42,10 @@ bench-json:
 		-bench 'BenchmarkMultiRack' \
 		. | $(GO) run ./cmd/benchjson > BENCH_multirack.json
 	@cat BENCH_multirack.json
+	$(GO) test -run xxx -benchmem \
+		-bench 'BenchmarkFailover' \
+		. | $(GO) run ./cmd/benchjson > BENCH_failover.json
+	@cat BENCH_failover.json
 
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:

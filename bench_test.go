@@ -459,4 +459,36 @@ func BenchmarkControllerCycle(b *testing.B) {
 	}
 }
 
+// BenchmarkFailover: the replicated tier's detection-to-recovery profile.
+// Each iteration runs the three seeded failover chaos scenarios (crash the
+// primary permanently, fail over, rejoin + resync, crash the promoted node,
+// fail back) and reports the worst detection window and recovery latencies.
+func BenchmarkFailover(b *testing.B) {
+	tb := runFigure(b, "failover", true)
+	b.ReportMetric(maxOf(tb.Col("detect_ticks")), "detect_ticks_max")
+	b.ReportMetric(maxOf(tb.Col("failover_us")), "failover_us_max")
+	b.ReportMetric(maxOf(tb.Col("failback_us")), "failback_us_max")
+	b.ReportMetric(sumOf(tb.Col("hot_reads")), "hot_reads")
+	b.ReportMetric(sumOf(tb.Col("post_failover_timeouts")), "post_failover_timeouts")
+	b.ReportMetric(sumOf(tb.Col("violations")), "violations")
+}
+
+func maxOf(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func sumOf(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
 var _ = harness.Experiments // keep the harness import explicit

@@ -6,8 +6,10 @@
 // Each object carries the benchmark name (goroutine-count suffix stripped
 // into its own field), ns/op, B/op, allocs/op, and a derived kops_s
 // (1e6/ns_op): the operation rate in thousands per second, comparable across
-// the sequential and parallel variants. Lines that are not benchmark results
-// (headers, PASS, custom metrics) are ignored.
+// the sequential and parallel variants. Custom b.ReportMetric units (e.g.
+// the failover bench's detect_ticks_max, failover_us_max) land in a
+// "metrics" map keyed by unit; lines that are not benchmark results
+// (headers, PASS) are ignored.
 package main
 
 import (
@@ -30,6 +32,8 @@ type result struct {
 	BOp      float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
 	KopsS    float64 `json:"kops_s"`
+	// Metrics holds custom b.ReportMetric values keyed by their unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -79,13 +83,18 @@ func parseLine(line string) (result, bool) {
 		if err != nil {
 			return result{}, false
 		}
-		switch f[i+1] {
+		switch unit := f[i+1]; unit {
 		case "ns/op":
 			r.NsOp, seen = v, true
 		case "B/op":
 			r.BOp = v
 		case "allocs/op":
 			r.AllocsOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = make(map[string]float64)
+			}
+			r.Metrics[unit] = v
 		}
 	}
 	if !seen {

@@ -235,3 +235,26 @@ func (r *Rack) RebootSwitch() int {
 	r.r.Switch.ResetStats(true)
 	return len(keys)
 }
+
+// CrashServer crashes storage server i. Without Replicate its partition
+// times out until RestartServer; with Replicate the controller's failure
+// detector declares it dead after HeartbeatMisses Ticks and fails the
+// partition over to the backup — hot keys keep serving from the switch
+// cache throughout.
+func (r *Rack) CrashServer(i int) { r.r.CrashServer(i) }
+
+// RestartServer brings a crashed server back (wipe discards its store).
+// With Replicate the node rejoins as a backup and catches up via the
+// anti-entropy resync over the following Ticks before it is promotable.
+func (r *Rack) RestartServer(i int, wipe bool) { r.r.RestartServer(i, wipe) }
+
+// PrimaryServer returns the index of the server currently serving key's
+// partition — its home server, or the promoted backup after a failover.
+func (r *Rack) PrimaryServer(key Key) int {
+	for i := range r.r.Servers {
+		if r.r.Servers[i] == r.r.PrimaryOf(key) {
+			return i
+		}
+	}
+	return -1
+}

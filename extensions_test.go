@@ -328,3 +328,47 @@ func TestChunkedClientShrinkCollectsStaleChunks(t *testing.T) {
 		t.Fatalf("after shrink: %q %v", v, err)
 	}
 }
+
+func TestReplicatedFailoverFacade(t *testing.T) {
+	r, err := New(Config{Servers: 4, Clients: 1, CacheCapacity: 32,
+		Replicate: true, HeartbeatMisses: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.LoadDataset(100, 64)
+	cli := r.Client(0)
+	key := KeyName(5)
+	if err := cli.Put(key, []byte("acked-before-crash")); err != nil {
+		t.Fatal(err)
+	}
+	home := r.PrimaryServer(key)
+	if home < 0 {
+		t.Fatal("no primary for key")
+	}
+
+	// Kill the primary for good. One Tick trips the 1-miss detector and
+	// flips the partition's routes to the backup.
+	r.CrashServer(home)
+	r.Tick()
+	if p := r.PrimaryServer(key); p == home || p < 0 {
+		t.Fatalf("partition did not fail over (primary still %d)", p)
+	}
+	// The acked write survives the permanent failure, and the partition
+	// accepts new writes without the dead node.
+	if v, err := cli.Get(key); err != nil || string(v) != "acked-before-crash" {
+		t.Fatalf("read from promoted backup: %q %v", v, err)
+	}
+	if err := cli.Put(key, []byte("written-after-failover")); err != nil {
+		t.Fatalf("write after failover: %v", err)
+	}
+
+	// The crashed node rejoins as a backup and catches back up over the
+	// following controller cycles.
+	r.RestartServer(home, false)
+	for i := 0; i < 50; i++ {
+		r.Tick()
+	}
+	if v, err := cli.Get(key); err != nil || string(v) != "written-after-failover" {
+		t.Fatalf("read after rejoin: %q %v", v, err)
+	}
+}

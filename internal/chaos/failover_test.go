@@ -1,0 +1,75 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestChaosFailover is the replicated-tier chaos suite: for every seed a
+// primary crashes permanently (no restart), the partition fails over to its
+// backup within the detection window, and the workload keeps completing —
+// every acked write readable from the promoted backup. The node then
+// rejoins, catches up via resync, and survives losing the promoted node
+// too.
+func TestChaosFailover(t *testing.T) {
+	for _, seed := range seeds() {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rep, err := RunFailover(FailoverConfig{Seed: seed})
+			if err != nil {
+				t.Fatalf("failover run error (rerun with -chaos.seed=%d): %v", seed, err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if rep.Failed() {
+				t.Logf("timeline (rerun with -chaos.seed=%d):", seed)
+				for _, e := range rep.Events {
+					t.Logf("  %s", e)
+				}
+				t.Fatalf("%d invariant violations at seed %d — rerun with -chaos.seed=%d",
+					len(rep.Violations), seed, seed)
+			}
+			// Both injected deaths must have been detected and failed over.
+			if rep.Deaths < 2 || rep.Failovers < 2 {
+				t.Errorf("seed %d: deaths=%d failovers=%d, want >= 2 each", seed, rep.Deaths, rep.Failovers)
+			}
+			if rep.Rejoins == 0 {
+				t.Errorf("seed %d: the restarted node never rejoined", seed)
+			}
+			if rep.ResyncCopied == 0 {
+				t.Errorf("seed %d: resync copied nothing — catch-up untested", seed)
+			}
+			// Detection took the configured window, not forever.
+			if rep.DetectTicks < 3 || rep.DetectTicks > 30 {
+				t.Errorf("seed %d: detection in %d ticks, want within [3,30]", seed, rep.DetectTicks)
+			}
+			if rep.FailoverLatency <= 0 || rep.FailbackLatency <= 0 {
+				t.Errorf("seed %d: unmeasured failover latency (%v, %v)",
+					seed, rep.FailoverLatency, rep.FailbackLatency)
+			}
+			// The switch cache carried the hot key through both switchovers,
+			// and healthy partitions kept answering.
+			if rep.HotReads == 0 {
+				t.Errorf("seed %d: hot key never probed during switchover", seed)
+			}
+			if rep.AvailabilityReads == 0 {
+				t.Errorf("seed %d: no availability reads completed during detection", seed)
+			}
+			// The detection window was real: cold keys of the dead partition
+			// timed out before the flip.
+			if rep.ColdTimeouts == 0 {
+				t.Errorf("seed %d: no cold-key timeout observed during the detection window", seed)
+			}
+			// After a completed failover the rack is fully available again.
+			if rep.PostFailoverTimeouts != 0 {
+				t.Errorf("seed %d: %d timeouts in fault-free post-failover phases",
+					seed, rep.PostFailoverTimeouts)
+			}
+			if rep.Ops == 0 || rep.Ops == rep.Timeouts {
+				t.Errorf("seed %d: workload did not run meaningfully: ops=%d timeouts=%d",
+					seed, rep.Ops, rep.Timeouts)
+			}
+		})
+	}
+}

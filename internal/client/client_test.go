@@ -401,3 +401,94 @@ func TestDuplicateDelayedRepliesDoNotDeadlock(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Regression: a failover can answer one request twice — the dying primary's
+// reply crawls out late after the client already accepted the promoted
+// backup's answer to a retransmission. The late duplicate must be absorbed
+// as Unmatched: it never completes a second operation for an already-matched
+// seq, and it cannot leak into a later operation (seqs are never reused).
+func TestLateDuplicateAfterFailoverCountsUnmatched(t *testing.T) {
+	cli, err := New(Config{
+		Addr:      cliAddr,
+		Partition: func(netproto.Key) netproto.Addr { return srvAddr },
+		Timeout:   500 * time.Microsecond,
+		Retries:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu       sync.Mutex
+		attempts int
+		late     []byte // the old primary's reply, held back until after completion
+	)
+	cli.SetSend(func(frame []byte) {
+		fr, _ := netproto.DecodeFrame(frame)
+		var pkt netproto.Packet
+		if netproto.Decode(fr.Payload, &pkt) != nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		attempts++
+		if attempts == 1 {
+			// The doomed primary answers with the pre-failover value, but the
+			// frame is delayed past the client's timeout: hold it.
+			reply := netproto.Reply(&pkt, []byte("stale"), true)
+			payload, _ := reply.Marshal()
+			late = netproto.MarshalFrame(fr.Src, fr.Dst, payload)
+			return
+		}
+		// The retransmission reaches the promoted backup, which answers
+		// promptly with the post-failover value.
+		reply := netproto.Reply(&pkt, []byte("fresh"), true)
+		payload, _ := reply.Marshal()
+		out := netproto.MarshalFrame(fr.Src, fr.Dst, payload)
+		mu.Unlock()
+		cli.Receive(out)
+		mu.Lock()
+	})
+	v, err := cli.Get(netproto.KeyFromString("k"))
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if string(v) != "fresh" {
+		t.Fatalf("get returned %q, want the promoted backup's %q", v, "fresh")
+	}
+	if got := cli.Metrics.Unmatched.Value(); got != 0 {
+		t.Fatalf("Unmatched = %d before the late duplicate arrived", got)
+	}
+
+	// Now the old primary's reply finally drains out of the fabric.
+	mu.Lock()
+	dup := late
+	mu.Unlock()
+	if dup == nil {
+		t.Fatal("first attempt's reply was never captured")
+	}
+	cli.Receive(dup)
+	if got := cli.Metrics.Unmatched.Value(); got != 1 {
+		t.Fatalf("late duplicate: Unmatched = %d, want 1", got)
+	}
+
+	// A later operation with a fresh seq is untouched by the duplicate: it
+	// completes against the live server and absorbs nothing stale.
+	mu.Lock()
+	attempts = 1 // answer immediately from now on
+	mu.Unlock()
+	v, err = cli.Get(netproto.KeyFromString("k"))
+	if err != nil {
+		t.Fatalf("get after duplicate: %v", err)
+	}
+	if string(v) != "fresh" {
+		t.Fatalf("get after duplicate returned %q, want %q", v, "fresh")
+	}
+	if got := cli.Metrics.Unmatched.Value(); got != 1 {
+		t.Fatalf("Unmatched = %d after clean op, want still 1", got)
+	}
+	// Replaying the duplicate yet again still cannot complete anything.
+	cli.Receive(dup)
+	if got := cli.Metrics.Unmatched.Value(); got != 2 {
+		t.Fatalf("replayed duplicate: Unmatched = %d, want 2", got)
+	}
+}

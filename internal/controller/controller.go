@@ -66,6 +66,20 @@ type Config struct {
 	// WritePolicy optionally disables caching under write-dominated load
 	// (§7.3); the zero value leaves caching always on.
 	WritePolicy WritePolicy
+	// Backups maps a home partition address to its backup node, enabling
+	// primary-backup replication with controller-driven failover for that
+	// partition. Both ends must be ReplicatedNodes in Nodes. Empty leaves
+	// the tier unreplicated.
+	Backups map[netproto.Addr]netproto.Addr
+	// HeartbeatMisses is how many consecutive failed heartbeat probes
+	// (one per Tick) declare a node dead. Zero means 3, so the detection
+	// window is 3 controller cycles.
+	HeartbeatMisses int
+	// InstallRoute, if non-nil, provisions route flips during failover —
+	// deployments wire the fabric's route installer here so a rebooting
+	// switch re-provisions the flipped route rather than the original.
+	// Nil falls back to the raw switch driver.
+	InstallRoute func(addr netproto.Addr, port int) error
 }
 
 // Metrics counts controller activity.
@@ -83,6 +97,15 @@ type Metrics struct {
 	CacheReenabled stats.Counter
 	Resyncs        stats.Counter
 	Adopted        stats.Counter
+
+	// Failure detector / replication management.
+	Deaths         stats.Counter
+	Rejoins        stats.Counter
+	Failovers      stats.Counter
+	FailoverStalls stats.Counter
+	ResyncCopied   stats.Counter
+	ResyncDropped  stats.Counter
+	ResyncAborts   stats.Counter
 }
 
 // entry is the controller's bookkeeping for one cached item.
@@ -119,6 +142,12 @@ type Controller struct {
 	cycle   uint64
 	wp      writePolicyState
 
+	// Failure-detector membership and partition replication state (see
+	// failover.go).
+	members   map[netproto.Addr]*member
+	parts     map[netproto.Addr]*partition
+	partOrder []netproto.Addr
+
 	// Metrics is exported for harnesses and tests.
 	Metrics Metrics
 }
@@ -142,6 +171,9 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.ReportBuffer <= 0 {
 		cfg.ReportBuffer = 16384
 	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
 	alloc, err := cachemem.New(cfg.Switch.AllocatorConfig())
 	if err != nil {
 		return nil, err
@@ -155,6 +187,7 @@ func New(cfg Config) (*Controller, error) {
 		entries:   make(map[netproto.Key]*entry),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
+	c.initReplication()
 	// The digest callbacks run on the pipeline's digest drain goroutine,
 	// concurrent with Tick, so they must not touch controller state
 	// directly: enqueue or drop.
@@ -216,6 +249,13 @@ func (c *Controller) Tick() {
 		c.resyncLocked()
 	}
 	c.mu.Unlock()
+
+	// Failure detection next: probe the storage nodes, fail over the
+	// partitions of anyone past the miss threshold, and run the catch-up
+	// copies for freshly (re)assigned backups outside the lock.
+	for _, t := range c.heartbeatAndRepair() {
+		c.resyncPartition(t)
+	}
 
 	// Control-plane updates first: items whose values outgrew their slot
 	// allocation are reinstalled with a fresh placement (§4.3: "the new
@@ -350,14 +390,7 @@ func (c *Controller) EvictKey(key netproto.Key) bool {
 // insertLocked performs the full §4.3 insertion protocol. freq is the
 // reported frequency justifying the insertion (0 for forced inserts).
 func (c *Controller) insertLocked(key netproto.Key, freq uint64) bool {
-	addr := c.cfg.Partition(key)
-	node, ok := c.cfg.Nodes[addr]
-	if !ok && c.cfg.Resolve != nil {
-		node, ok = c.cfg.Resolve(key)
-		if ok {
-			addr = node.Addr()
-		}
-	}
+	node, addr, ok := c.ownerLocked(key)
 	if !ok {
 		return false
 	}

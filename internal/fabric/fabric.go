@@ -101,6 +101,13 @@ func (n *Node) AttachServer(port int, srv *server.Server) error {
 	if err := n.InstallRoute(srv.Addr(), port); err != nil {
 		return err
 	}
+	// The node alias is the server's failover-stable address: the home
+	// route above is re-pointed when the partition fails over, the alias
+	// never is, so node-to-node replication traffic always reaches this
+	// physical server.
+	if err := n.InstallRoute(netproto.NodeAlias(srv.Addr()), port); err != nil {
+		return err
+	}
 	n.servers[port] = srv
 	return nil
 }

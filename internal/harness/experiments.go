@@ -141,6 +141,7 @@ func Experiments() []Experiment {
 		{"xval", "Packet-level cross-validation of the capacity model", XVal},
 		{"chaosbench", "Rack throughput under fault injection", ChaosBench},
 		{"multirack", "Leaf-spine fabric throughput under uplink fault injection", MultiRackBench},
+		{"failover", "Replicated tier: detection, failover and failback latency", FailoverBench},
 	}
 	return append(builtin, extra...)
 }

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+
+	"netcache/internal/chaos"
+)
+
+// FailoverSeeds are the scenario seeds the failover experiment sweeps — the
+// same trio the chaos test suite runs by default, so a regression caught
+// here reproduces directly with
+// `go test -race ./internal/chaos -run TestChaosFailover -chaos.seed=<seed>`.
+var FailoverSeeds = []uint64{1, 20260806, 0xC0FFEE}
+
+// FailoverBench drives the replicated-tier failover chaos scenario
+// (internal/chaos.RunFailover) once per seed and reports the headline
+// robustness quantities: how many ticks the detector needed, the wall-clock
+// crash-to-recovery latency of the failover and of the later failback, and
+// the availability evidence (hot-key reads served from the switch while the
+// primary was dead, healthy-partition reads during the detection window,
+// zero timeouts in fault-free phases after recovery).
+func FailoverBench(quick bool) (*Table, error) {
+	cfg := chaos.FailoverConfig{}
+	if !quick {
+		cfg.OpsPerPhase = 120
+		cfg.Keys = 48
+	}
+	t := &Table{
+		ID: "failover", Title: "replicated tier: detection, failover and failback latency (4 servers, 2 clients, permanent crashes)",
+		Columns: []string{
+			"seed", "detect_ticks", "failover_us", "failback_us",
+			"ops", "hot_reads", "avail_reads", "cold_timeouts",
+			"post_failover_timeouts", "resync_copied", "violations",
+		},
+		Notes: []string{
+			"each row: one seeded scenario — crash the primary (no restart), fail over, workload,",
+			"rejoin + anti-entropy resync, then crash the promoted node and fail back;",
+			"detect_ticks: controller ticks from crash to route flip (threshold 3 misses);",
+			"failover_us/failback_us: wall-clock crash -> route-flip windows;",
+			"hot_reads: cached-key reads served by the switch while the key's primary was dead;",
+			"cold_timeouts: observed detection-window timeouts on uncached keys of the dead partition;",
+			"post_failover_timeouts and violations must be 0 (acked writes survive, tier stays available)",
+		},
+	}
+	for _, seed := range FailoverSeeds {
+		c := cfg
+		c.Seed = seed
+		rep, err := chaos.RunFailover(c)
+		if err != nil {
+			return nil, err
+		}
+		if rep.Failed() {
+			return nil, fmt.Errorf("harness: failover seed %d violated invariants: %s", seed, rep.Violations[0])
+		}
+		t.Add(float64(seed), float64(rep.DetectTicks),
+			float64(rep.FailoverLatency.Microseconds()), float64(rep.FailbackLatency.Microseconds()),
+			float64(rep.Ops), float64(rep.HotReads), float64(rep.AvailabilityReads),
+			float64(rep.ColdTimeouts), float64(rep.PostFailoverTimeouts),
+			float64(rep.ResyncCopied), float64(len(rep.Violations)))
+	}
+	return t, nil
+}

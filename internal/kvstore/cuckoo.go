@@ -107,6 +107,41 @@ func (c *CuckooStore) Put(key netproto.Key, value []byte) uint64 {
 	return c.version
 }
 
+// PutAt installs value under key with the given externally assigned version
+// (the replication path; see Engine.PutAt).
+func (c *CuckooStore) PutAt(key netproto.Key, value []byte, version uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.version < version {
+		c.version = version
+	}
+	a, b := c.bucketsOf(key)
+	for _, bi := range [2]uint64{a, b} {
+		for si := range c.buckets[bi] {
+			s := &c.buckets[bi][si]
+			if s.used && s.key == key {
+				s.value = append([]byte(nil), value...)
+				s.version = version
+				return true
+			}
+		}
+	}
+	c.insertLocked(slot{used: true, key: key, value: append([]byte(nil), value...), version: version})
+	c.n++
+	return true
+}
+
+// BumpVersion advances the version source to at least version without
+// touching data (see Engine.BumpVersion). The cuckoo store has a single
+// version source, so key is ignored.
+func (c *CuckooStore) BumpVersion(_ netproto.Key, version uint64) {
+	c.mu.Lock()
+	if c.version < version {
+		c.version = version
+	}
+	c.mu.Unlock()
+}
+
 // insertLocked places a new slot, displacing residents as needed and
 // growing on walk exhaustion. Caller holds the write lock.
 func (c *CuckooStore) insertLocked(s slot) {

@@ -12,6 +12,21 @@ type Engine interface {
 	// Put stores a copy of value and returns a version strictly greater
 	// than any previous version of the key.
 	Put(key netproto.Key, value []byte) (version uint64)
+	// PutAt installs a copy of value with an externally assigned version —
+	// the replication path, where a backup must preserve the primary's
+	// version so versions stay comparable across the pair. The install is
+	// unconditional: ordering between replicated writes is the caller's
+	// job (the server's per-key replication stamp), and the key's current
+	// version may come from a foreign, incomparable counter — e.g. a
+	// rejoined ex-primary whose shard counter ran ahead of the new
+	// primary's. The engine's own version source is advanced to at least
+	// version so later local Puts still return strictly larger versions.
+	PutAt(key netproto.Key, value []byte, version uint64) (ok bool)
+	// BumpVersion advances the version source serving key to at least
+	// version without touching data. A backup applying a replicated
+	// delete uses it so the tombstone's version can never be reissued to
+	// a later local write after promotion.
+	BumpVersion(key netproto.Key, version uint64)
 	// Delete removes the key, returning the deletion version.
 	Delete(key netproto.Key) (version uint64, ok bool)
 	// Len returns the number of stored items.

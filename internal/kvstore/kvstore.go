@@ -118,6 +118,44 @@ func (s *Store) Put(key netproto.Key, value []byte) (version uint64) {
 	return sh.version
 }
 
+// PutAt installs value under key with the given externally assigned version
+// (the replication path; see Engine.PutAt). The shard's version source is
+// bumped to at least version so local Puts never reuse or undercut it.
+func (s *Store) PutAt(key netproto.Key, value []byte, version uint64) bool {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.version < version {
+		sh.version = version
+	}
+	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
+	for e := sh.buckets[idx]; e != nil; e = e.next {
+		if e.key == key {
+			e.value = append([]byte(nil), value...)
+			e.version = version
+			return true
+		}
+	}
+	sh.buckets[idx] = &entry{key: key, value: append([]byte(nil), value...), version: version, next: sh.buckets[idx]}
+	sh.n++
+	s.len.Add(1)
+	if float64(sh.n) > maxLoadFactor*float64(len(sh.buckets)) {
+		sh.grow()
+	}
+	return true
+}
+
+// BumpVersion advances the version source of key's shard to at least
+// version without touching data (see Engine.BumpVersion).
+func (s *Store) BumpVersion(key netproto.Key, version uint64) {
+	sh := &s.shards[s.ShardOf(key)]
+	sh.mu.Lock()
+	if sh.version < version {
+		sh.version = version
+	}
+	sh.mu.Unlock()
+}
+
 // Delete removes key and returns the deletion version; ok is false if the
 // key was absent.
 func (s *Store) Delete(key netproto.Key) (version uint64, ok bool) {

@@ -46,6 +46,7 @@ import (
 	"netcache/internal/fabric"
 	"netcache/internal/netproto"
 	"netcache/internal/server"
+	"netcache/internal/simnet"
 	"netcache/internal/switchcore"
 	"netcache/internal/workload"
 )
@@ -77,6 +78,16 @@ type Config struct {
 	// wired to the vectorized batch path either way, so GetBatch issues
 	// windowed bursts even across racks.
 	ClientWindow int
+	// Replicate enables the replicated storage tier inside every rack:
+	// server s is backed by server (s+1) mod ServersPerRack of the same
+	// rack, and each ToR controller runs the failure detector and failover
+	// for its own servers. The spine is unaffected — failover flips only
+	// ToR routes, and the spine keeps routing by rack trunk. Requires
+	// ServersPerRack >= 2.
+	Replicate bool
+	// HeartbeatMisses overrides the ToR controllers' consecutive-miss
+	// death threshold; zero keeps the controller default.
+	HeartbeatMisses int
 }
 
 // Fabric is the assembled leaf-spine deployment.
@@ -123,6 +134,9 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.Racks < 1 || cfg.ServersPerRack < 1 || cfg.Clients < 1 {
 		return nil, fmt.Errorf("leafspine: racks, servers and clients must all be >= 1")
 	}
+	if cfg.Replicate && cfg.ServersPerRack < 2 {
+		return nil, fmt.Errorf("leafspine: replication needs at least two servers per rack, got %d", cfg.ServersPerRack)
+	}
 
 	f := &Fabric{
 		cfg:          cfg,
@@ -151,7 +165,11 @@ func New(cfg Config) (*Fabric, error) {
 		rackServers := make([]*server.Server, 0, cfg.ServersPerRack)
 		for s := 0; s < cfg.ServersPerRack; s++ {
 			addr := cfg.serverAddr(r, s)
-			srv := server.New(server.Config{Addr: addr, Shards: 2})
+			scfg := server.Config{Addr: addr, Shards: 2}
+			if cfg.Replicate {
+				scfg.PartitionOf = func(key netproto.Key) netproto.Addr { return f.Partition(key) }
+			}
+			srv := server.New(scfg)
 			if err := tor.AttachServer(s, srv); err != nil {
 				return nil, err
 			}
@@ -221,7 +239,7 @@ func New(cfg Config) (*Fabric, error) {
 			addr := cfg.serverAddr(r, s)
 			rackNodes[addr] = f.serverByAddr[addr]
 		}
-		if err := tor.SetController(controller.Config{
+		torCfg := controller.Config{
 			Nodes:     rackNodes,
 			Partition: func(key netproto.Key) netproto.Addr { return f.Partition(key) },
 			PortOf: func(addr netproto.Addr) (int, bool) {
@@ -230,9 +248,23 @@ func New(cfg Config) (*Fabric, error) {
 				}
 				return int(addr-cfg.serverAddr(r, 0)) % cfg.ServersPerRack, true
 			},
-			Capacity: cfg.TorCache,
-			Seed:     int64(r + 1),
-		}); err != nil {
+			Capacity:        cfg.TorCache,
+			Seed:            int64(r + 1),
+			HeartbeatMisses: cfg.HeartbeatMisses,
+		}
+		if cfg.Replicate {
+			// Ring pairing within the rack; the route-flip hook goes
+			// through the ToR's fabric node so a ToR reboot re-provisions
+			// the flipped routes. The spine never learns about a failover:
+			// its routes and cache entries address the rack trunk, which
+			// is still correct for the promoted in-rack backup.
+			torCfg.Backups = make(map[netproto.Addr]netproto.Addr, cfg.ServersPerRack)
+			for s := 0; s < cfg.ServersPerRack; s++ {
+				torCfg.Backups[cfg.serverAddr(r, s)] = cfg.serverAddr(r, (s+1)%cfg.ServersPerRack)
+			}
+			torCfg.InstallRoute = tor.InstallRoute
+		}
+		if err := tor.SetController(torCfg); err != nil {
 			return nil, err
 		}
 	}
@@ -287,11 +319,31 @@ func (f *Fabric) RackOf(key netproto.Key) int {
 	return f.rackOfAddr[f.Partition(key)]
 }
 
-// LoadDataset installs the canonical dataset across all servers.
+// BackupOf returns the server configured as the in-rack ring backup of
+// key's home partition (meaningful only with Config.Replicate).
+func (f *Fabric) BackupOf(key netproto.Key) *server.Server {
+	home := f.Partition(key)
+	r := f.rackOfAddr[home]
+	s := int(home-f.cfg.serverAddr(r, 0)) % f.cfg.ServersPerRack
+	return f.servers[r][(s+1)%f.cfg.ServersPerRack]
+}
+
+// PrimaryOf returns the server currently serving key's partition according
+// to its rack's ToR controller.
+func (f *Fabric) PrimaryOf(key netproto.Key) *server.Server {
+	r := f.RackOf(key)
+	return f.serverByAddr[f.tors[r].Controller.CurrentPrimary(key)]
+}
+
+// LoadDataset installs the canonical dataset across all servers (mirroring
+// each item to its backup when the fabric is replicated).
 func (f *Fabric) LoadDataset(n, valueSize int) {
 	for id := 0; id < n; id++ {
 		key := workload.KeyName(id)
-		f.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+		ver := f.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+		if f.cfg.Replicate {
+			f.BackupOf(key).Store().PutAt(key, workload.ValueFor(id, valueSize), ver)
+		}
 	}
 }
 
@@ -340,4 +392,20 @@ func (f *Fabric) RestartTorController(r int, rebuild bool) error {
 // toward the rack times out at the clients until the link comes back.
 func (f *Fabric) SetUplinkDown(r int, down bool) {
 	f.spine.Net.SetPortDown(r, down)
+}
+
+// SetUplinkTxDown cuts (or restores) only the spine→rack direction of rack
+// r's trunk: frames the spine emits toward the rack are discarded, but
+// frames climbing up from the rack's ToR still get in — an asymmetric cable
+// fault. Requests into the rack time out at the clients while late replies
+// already inside the rack still drain upward.
+func (f *Fabric) SetUplinkTxDown(r int, down bool) {
+	f.spine.Net.SetPortDirDown(r, simnet.FromSwitch, down)
+}
+
+// SetUplinkRxDown cuts (or restores) only the rack→spine direction of rack
+// r's trunk: the spine keeps pushing frames down, but nothing the rack
+// sends back gets through.
+func (f *Fabric) SetUplinkRxDown(r int, down bool) {
+	f.spine.Net.SetPortDirDown(r, simnet.ToSwitch, down)
 }

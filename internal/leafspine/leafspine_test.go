@@ -498,3 +498,75 @@ func TestBatchedGetAcrossRacks(t *testing.T) {
 		t.Errorf("clean-fabric batch retransmitted %d", cli.Metrics.Retransmit.Value())
 	}
 }
+
+// An asymmetric trunk failure downs ONE direction of a rack's uplink. With
+// the forward (spine->ToR) direction dark, requests die before the rack and
+// the server never sees them. With only the reverse (ToR->spine) direction
+// dark, requests still reach the server — the server does the work, its
+// replies die on the trunk, and the client times out all the same. Held-back
+// replies that finally drain after the op gave up are absorbed as Unmatched,
+// one per request the server answered: every frame is accounted for.
+func TestAsymmetricTrunkDirectionDown(t *testing.T) {
+	f := faultFabric(t, 2, 2)
+	const nKeys = 40
+	f.LoadDataset(nKeys, 24)
+	cli := f.Client(0)
+	key := keyInRack(t, f, 1, nKeys)
+	srv := f.ServerOf(key)
+
+	// Forward direction down: the request never reaches the rack.
+	f.SetUplinkTxDown(1, true)
+	gets := srv.Metrics.Gets.Value()
+	if _, err := cli.Get(key); err != client.ErrTimeout {
+		t.Fatalf("get with spine->rack direction down: %v", err)
+	}
+	if d := srv.Metrics.Gets.Value() - gets; d != 0 {
+		t.Errorf("server saw %d gets through a dark forward direction", d)
+	}
+	f.SetUplinkTxDown(1, false)
+	if _, err := cli.Get(key); err != nil {
+		t.Fatalf("get after restoring forward direction: %v", err)
+	}
+
+	// Reverse direction down: requests arrive and are served, replies die.
+	f.SetUplinkRxDown(1, true)
+	gets = srv.Metrics.Gets.Value()
+	if _, err := cli.Get(key); err != client.ErrTimeout {
+		t.Fatalf("get with rack->spine direction down: %v", err)
+	}
+	if srv.Metrics.Gets.Value() == gets {
+		t.Error("server saw no gets: reverse-direction cut also blocked requests")
+	}
+	f.SetUplinkRxDown(1, false)
+	if _, err := cli.Get(key); err != nil {
+		t.Fatalf("get after restoring reverse direction: %v", err)
+	}
+
+	// Asymmetric delay: replies are held on the trunk instead of dropped.
+	// The client gives up, then the late replies drain — each one lands as
+	// Unmatched, matching the number of requests the server answered.
+	f.SpineNode().Net.SetFault(f.SpineDownlinkPort(1), simnet.ToSwitch,
+		simnet.FaultRule{Reorder: 1, ReorderDepth: 64})
+	gets = srv.Metrics.Gets.Value()
+	unmatched := cli.Metrics.Unmatched.Value()
+	if _, err := cli.Get(key); err != client.ErrTimeout {
+		t.Fatalf("get with replies held on the trunk: %v", err)
+	}
+	answered := srv.Metrics.Gets.Value() - gets
+	if answered == 0 {
+		t.Fatal("held-reply phase: server answered nothing")
+	}
+	if d := cli.Metrics.Unmatched.Value() - unmatched; d != 0 {
+		t.Fatalf("%d replies leaked through a fully-held trunk", d)
+	}
+	f.SpineNode().Net.ClearFaults()
+	if err := f.SpineNode().Net.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if d := cli.Metrics.Unmatched.Value() - unmatched; d != answered {
+		t.Errorf("late replies drained = %d Unmatched, want %d (one per answered request)", d, answered)
+	}
+	if _, err := cli.Get(key); err != nil {
+		t.Fatalf("get after draining the trunk: %v", err)
+	}
+}

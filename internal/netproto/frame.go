@@ -27,6 +27,20 @@ type Frame struct {
 // Addr is a rack-local network address (one per client or server NIC).
 type Addr uint16
 
+// nodeAliasBit marks a node-alias address. Server home addresses are small
+// positive integers and client addresses start at 0x8000, so the 0x4000
+// range is free for aliases.
+const nodeAliasBit Addr = 0x4000
+
+// NodeAlias returns the stable node address of a server: a second address
+// for the same NIC that always routes to the physical node. A server's home
+// address doubles as its partition's address, and failover re-points that
+// route at whichever node currently primaries the partition — so traffic
+// that must reach a specific NODE (replication to a backup, and its acks)
+// addresses the alias instead. Aliases are provisioned once at attach time
+// and never flipped.
+func NodeAlias(a Addr) Addr { return a | nodeAliasBit }
+
 // FrameHeaderSize is the encoded size of the frame header:
 // DST(2) SRC(2) CKSUM(4).
 const FrameHeaderSize = 8

@@ -114,28 +114,44 @@ const (
 	// OpCtlStatsReply carries the daemon counters.
 	OpCtlStatsReply
 
+	// OpReplicate carries a primary's applied write to its backup. SEQ is
+	// the primary's store version of the write, so duplicated or reordered
+	// replication frames are idempotent at the backup. The switch routes it
+	// by destination address only: it is deliberately not IsWrite, so the
+	// cache pipeline never rewrites or invalidates on replication traffic.
+	OpReplicate
+	// OpReplicateDelete replicates a delete; SEQ is the deletion version.
+	OpReplicateDelete
+	// OpReplicateAck confirms an OpReplicate/OpReplicateDelete, echoing
+	// its SEQ. The primary retries replication until acked, and only then
+	// acknowledges the client (replicate-before-ack).
+	OpReplicateAck
+
 	opSentinel // keep last
 )
 
 var opNames = [...]string{
-	OpInvalid:        "Invalid",
-	OpGet:            "Get",
-	OpGetReply:       "GetReply",
-	OpGetReplyMiss:   "GetReplyMiss",
-	OpPut:            "Put",
-	OpPutCached:      "PutCached",
-	OpPutReply:       "PutReply",
-	OpDelete:         "Delete",
-	OpDeleteCached:   "DeleteCached",
-	OpDeleteReply:    "DeleteReply",
-	OpCacheUpdate:    "CacheUpdate",
-	OpCacheUpdateAck: "CacheUpdateAck",
-	OpHotReport:      "HotReport",
-	OpCtlBlock:       "CtlBlock",
-	OpCtlUnblock:     "CtlUnblock",
-	OpCtlAck:         "CtlAck",
-	OpCtlStats:       "CtlStats",
-	OpCtlStatsReply:  "CtlStatsReply",
+	OpInvalid:         "Invalid",
+	OpGet:             "Get",
+	OpGetReply:        "GetReply",
+	OpGetReplyMiss:    "GetReplyMiss",
+	OpPut:             "Put",
+	OpPutCached:       "PutCached",
+	OpPutReply:        "PutReply",
+	OpDelete:          "Delete",
+	OpDeleteCached:    "DeleteCached",
+	OpDeleteReply:     "DeleteReply",
+	OpCacheUpdate:     "CacheUpdate",
+	OpCacheUpdateAck:  "CacheUpdateAck",
+	OpHotReport:       "HotReport",
+	OpCtlBlock:        "CtlBlock",
+	OpCtlUnblock:      "CtlUnblock",
+	OpCtlAck:          "CtlAck",
+	OpCtlStats:        "CtlStats",
+	OpCtlStatsReply:   "CtlStatsReply",
+	OpReplicate:       "Replicate",
+	OpReplicateDelete: "ReplicateDelete",
+	OpReplicateAck:    "ReplicateAck",
 }
 
 // String returns the mnemonic name of the operation.
@@ -180,7 +196,7 @@ func (op Op) IsReply() bool {
 // HasValue reports whether packets with this op may carry a VALUE field.
 func (op Op) HasValue() bool {
 	switch op {
-	case OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply:
+	case OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply, OpReplicate:
 		return true
 	}
 	return false

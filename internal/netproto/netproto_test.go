@@ -41,7 +41,7 @@ func TestOpClassification(t *testing.T) {
 	reads := []Op{OpGet, OpGetReply, OpGetReplyMiss}
 	writes := []Op{OpPut, OpPutCached, OpDelete, OpDeleteCached}
 	replies := []Op{OpGetReply, OpGetReplyMiss, OpPutReply, OpDeleteReply}
-	valued := []Op{OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply}
+	valued := []Op{OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply, OpReplicate}
 
 	in := func(ops []Op, op Op) bool {
 		for _, o := range ops {
@@ -247,10 +247,11 @@ func TestReply(t *testing.T) {
 // Property: every structurally valid packet round-trips exactly.
 func TestQuickRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	valued := []Op{OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply}
+	valued := []Op{OpGetReply, OpPut, OpPutCached, OpCacheUpdate, OpCtlStatsReply, OpReplicate}
 	plain := []Op{OpGet, OpGetReplyMiss, OpPutReply, OpDelete, OpDeleteCached,
 		OpDeleteReply, OpCacheUpdateAck, OpHotReport,
-		OpCtlBlock, OpCtlUnblock, OpCtlAck, OpCtlStats}
+		OpCtlBlock, OpCtlUnblock, OpCtlAck, OpCtlStats,
+		OpReplicateDelete, OpReplicateAck}
 	f := func(seq uint64, key [KeySize]byte, vlen uint8, pick uint8, withVal bool) bool {
 		var p Packet
 		p.Seq = seq

@@ -65,6 +65,15 @@ type Config struct {
 	// ClientWindow sets the clients' closed-loop pipelining depth
 	// (client.Config.Window); zero keeps the client default.
 	ClientWindow int
+	// Replicate enables the replicated storage tier: server i's partition
+	// is backed by server (i+1) mod Servers (primary-backup, synchronous
+	// replicate-before-ack), the controller heartbeats the servers and
+	// fails a dead primary's partition over to its backup by flipping the
+	// switch routes. Requires Servers >= 2.
+	Replicate bool
+	// HeartbeatMisses overrides the controller's consecutive-miss death
+	// threshold (one probe per Tick); zero keeps the controller default.
+	HeartbeatMisses int
 }
 
 // Addressing: servers get addresses [1, Servers], clients
@@ -106,6 +115,9 @@ func New(cfg Config) (*Rack, error) {
 	if cfg.ServerShards <= 0 {
 		cfg.ServerShards = 4
 	}
+	if cfg.Replicate && cfg.Servers < 2 {
+		return nil, fmt.Errorf("rack: replication needs at least two servers, got %d", cfg.Servers)
+	}
 
 	node, err := fabric.NewNode("tor", cfg.Switch)
 	if err != nil {
@@ -128,7 +140,13 @@ func New(cfg Config) (*Rack, error) {
 	nodes := make(map[netproto.Addr]controller.StorageNode, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		addr := ServerAddr(i)
-		srv := server.New(server.Config{Addr: addr, Shards: cfg.ServerShards, Engine: cfg.StorageEngine})
+		scfg := server.Config{Addr: addr, Shards: cfg.ServerShards, Engine: cfg.StorageEngine}
+		if cfg.Replicate {
+			// r.Partition is assigned after this loop; the closure reads
+			// it at call time, when it is set.
+			scfg.PartitionOf = func(key netproto.Key) netproto.Addr { return r.Partition(key) }
+		}
+		srv := server.New(scfg)
 		if err := node.AttachServer(i, srv); err != nil {
 			return nil, err
 		}
@@ -155,17 +173,29 @@ func New(cfg Config) (*Rack, error) {
 		r.Clients = append(r.Clients, cl)
 	}
 
-	if err := node.SetController(controller.Config{
+	ctlCfg := controller.Config{
 		Nodes:     nodes,
 		Partition: func(key netproto.Key) netproto.Addr { return r.Partition(key) },
 		PortOf: func(addr netproto.Addr) (int, bool) {
 			p, ok := r.serverPorts[addr]
 			return p, ok
 		},
-		Capacity:    cfg.CacheCapacity,
-		SampleK:     cfg.ControllerSampleK,
-		WritePolicy: cfg.WritePolicy,
-	}); err != nil {
+		Capacity:        cfg.CacheCapacity,
+		SampleK:         cfg.ControllerSampleK,
+		WritePolicy:     cfg.WritePolicy,
+		HeartbeatMisses: cfg.HeartbeatMisses,
+	}
+	if cfg.Replicate {
+		// Ring pairing: server i's partition is backed by server i+1. The
+		// route-flip hook goes through the fabric node so a switch reboot
+		// re-provisions the flipped routes, not the originals.
+		ctlCfg.Backups = make(map[netproto.Addr]netproto.Addr, cfg.Servers)
+		for i := 0; i < cfg.Servers; i++ {
+			ctlCfg.Backups[ServerAddr(i)] = ServerAddr((i + 1) % cfg.Servers)
+		}
+		ctlCfg.InstallRoute = node.InstallRoute
+	}
+	if err := node.SetController(ctlCfg); err != nil {
 		return nil, err
 	}
 	r.Controller = node.Controller
@@ -175,10 +205,25 @@ func New(cfg Config) (*Rack, error) {
 // Client returns client i's library handle.
 func (r *Rack) Client(i int) *client.Client { return r.Clients[i] }
 
-// ServerOf returns the server agent owning key.
+// ServerOf returns the server agent whose address is key's home partition —
+// the node that serves it when no failover has occurred.
 func (r *Rack) ServerOf(key netproto.Key) *server.Server {
 	addr := r.Partition(key)
 	return r.Servers[int(addr)-1]
+}
+
+// PrimaryOf returns the server agent currently serving key's partition:
+// ServerOf unless the controller failed the partition over to its backup.
+func (r *Rack) PrimaryOf(key netproto.Key) *server.Server {
+	addr := r.Controller.CurrentPrimary(key)
+	return r.Servers[int(addr)-1]
+}
+
+// BackupOf returns the server configured as the ring backup of key's home
+// partition (meaningful only with Config.Replicate).
+func (r *Rack) BackupOf(key netproto.Key) *server.Server {
+	i := int(r.Partition(key)) - 1
+	return r.Servers[(i+1)%len(r.Servers)]
 }
 
 // ServerPort returns the switch port of server i.
@@ -190,7 +235,12 @@ func (r *Rack) ServerPort(i int) int { return i }
 func (r *Rack) LoadDataset(n, valueSize int) {
 	for id := 0; id < n; id++ {
 		key := workload.KeyName(id)
-		r.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+		ver := r.ServerOf(key).Store().Put(key, workload.ValueFor(id, valueSize))
+		if r.cfg.Replicate {
+			// Mirror the dataset to the backup at the same version, so the
+			// pair starts in sync and the backup is promotable immediately.
+			r.BackupOf(key).Store().PutAt(key, workload.ValueFor(id, valueSize), ver)
+		}
 	}
 }
 

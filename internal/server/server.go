@@ -42,6 +42,11 @@ type Config struct {
 	// gives up and unblocks writers (the key stays invalid in the switch,
 	// which is safe: reads fall through to the server). Zero means 16.
 	MaxRetries int
+	// PartitionOf maps a key to its home partition address — the stable
+	// hash address clients route by, independent of which node currently
+	// serves the partition. Required for replication; nil leaves the
+	// server unreplicated even if SetReplica is called.
+	PartitionOf func(key netproto.Key) netproto.Addr
 }
 
 // Metrics counts the agent's activity.
@@ -53,6 +58,14 @@ type Metrics struct {
 	WritesQueued        stats.Counter
 	WritesDeduped       stats.Counter
 	StaleAcks           stats.Counter
+
+	// Primary-side replication counters.
+	ReplicatesSent   stats.Counter
+	ReplicateRetries stats.Counter
+	ReplicateGiveUps stats.Counter
+	// Backup-side replication counters.
+	ReplicatesApplied stats.Counter
+	ReplicatesDeduped stats.Counter
 }
 
 // Server is one storage node. Attach it to the fabric with SetSend +
@@ -80,6 +93,20 @@ type Server struct {
 	// under the per-key single-writer discipline the chaos suite checks.
 	applied map[netproto.Key]writeStamp
 
+	// replicas maps home partition address → backup address for the
+	// partitions this node currently serves as primary. Owned by the
+	// controller (SetReplica/DropReplica); volatile across a crash — the
+	// controller reconfigures the pair on rejoin.
+	replicas map[netproto.Addr]netproto.Addr
+
+	// replStamp is the backup-side replication guard: per key, the highest
+	// primary version applied via OpReplicate/OpReplicateDelete or the
+	// anti-entropy catch-up path. Duplicated or reordered replication
+	// frames at or below the stamp are re-acked but not re-applied, and
+	// for replicated deletes the stamp doubles as a tombstone. Like the
+	// store, it survives a preserve-restart and is wiped with the store.
+	replStamp map[netproto.Key]uint64
+
 	// control-request deduplication window (networked §4.3 protocol)
 	ctlSeen  map[uint64]bool
 	ctlOrder []uint64
@@ -100,6 +127,10 @@ type keyState struct {
 	blocks int
 	// pending is the in-flight cache update, if any.
 	pending *pendingUpdate
+	// repl is the in-flight replication of an applied write, if any. While
+	// set, the client ack (and any cache refresh) is withheld and later
+	// writes to the key queue: replicate-before-ack.
+	repl *pendingRepl
 	// queue holds writes deferred until the key unblocks.
 	queue []queuedWrite
 }
@@ -109,6 +140,22 @@ type pendingUpdate struct {
 	value []byte
 	tries int
 	timer *time.Timer
+}
+
+// pendingRepl is a write applied at the primary whose client ack is parked
+// until the backup confirms (OpReplicateAck).
+type pendingRepl struct {
+	op     netproto.Op // OpReplicate or OpReplicateDelete
+	seq    uint64      // primary store version carried on the wire
+	value  []byte
+	backup netproto.Addr
+	src    netproto.Addr   // client to acknowledge on completion
+	reply  netproto.Packet // the withheld client ack
+	// refresh is the switch cache update to fire once replicated
+	// (OpPutCached writes); nil otherwise.
+	refresh *pendingUpdate
+	tries   int
+	timer   *time.Timer
 }
 
 type queuedWrite struct {
@@ -154,10 +201,16 @@ func (s *Server) Crash() {
 		if st.pending != nil && st.pending.timer != nil {
 			st.pending.timer.Stop()
 		}
+		if st.repl != nil && st.repl.timer != nil {
+			st.repl.timer.Stop()
+		}
 	}
 	s.keys = make(map[netproto.Key]*keyState)
 	s.ctlSeen = nil
 	s.ctlOrder = nil
+	// Replica assignments are controller-owned soft state: the controller
+	// re-establishes the pair when the node rejoins.
+	s.replicas = nil
 }
 
 // Restart brings a crashed server back. With wipeStore the backing engine is
@@ -174,6 +227,7 @@ func (s *Server) Restart(wipeStore bool) {
 		}
 		s.store = store
 		s.applied = make(map[netproto.Key]writeStamp)
+		s.replStamp = nil
 	}
 	s.down = false
 }
@@ -219,6 +273,10 @@ func (s *Server) Receive(frame []byte) {
 		s.handleWrite(fr.Src, pkt)
 	case netproto.OpCacheUpdateAck:
 		s.handleAck(pkt)
+	case netproto.OpReplicate, netproto.OpReplicateDelete:
+		s.handleReplicate(fr.Src, pkt)
+	case netproto.OpReplicateAck:
+		s.handleReplAck(pkt)
 	case netproto.OpCtlBlock, netproto.OpCtlUnblock:
 		// The networked form of the controller's write-block window
 		// (§4.3), used when controller and server are separate
@@ -266,7 +324,7 @@ func (s *Server) handleGet(src netproto.Addr, pkt netproto.Packet) {
 func (s *Server) handleWrite(src netproto.Addr, pkt netproto.Packet) {
 	s.mu.Lock()
 	st := s.keys[pkt.Key]
-	if st != nil && (st.blocks > 0 || st.pending != nil) {
+	if st != nil && (st.blocks > 0 || st.pending != nil || st.repl != nil) {
 		// pkt.Value aliases the delivered frame, whose buffer the fabric
 		// recycles once Receive returns; a queued write outlives that, so
 		// it needs its own copy.
@@ -298,8 +356,8 @@ func (s *Server) applyWriteLocked(src netproto.Addr, pkt netproto.Packet) {
 		}
 		return
 	}
-	s.applied[pkt.Key] = writeStamp{src: src, seq: pkt.Seq}
 	var refresh *pendingUpdate
+	var repl *pendingRepl
 	switch pkt.Op {
 	case netproto.OpPut, netproto.OpPutCached:
 		s.Metrics.Puts.Inc()
@@ -311,16 +369,48 @@ func (s *Server) applyWriteLocked(src netproto.Addr, pkt netproto.Packet) {
 				seq:   version,
 				value: append([]byte(nil), pkt.Value...),
 			}
-			st := s.stateLocked(pkt.Key)
-			st.pending = refresh
+		}
+		if backup, ok := s.backupForLocked(pkt.Key); ok {
+			repl = &pendingRepl{
+				op:     netproto.OpReplicate,
+				seq:    version,
+				value:  append([]byte(nil), pkt.Value...),
+				backup: backup,
+			}
 		}
 	case netproto.OpDelete, netproto.OpDeleteCached:
 		s.Metrics.Deletes.Inc()
-		s.store.Delete(pkt.Key)
+		version, ok := s.store.Delete(pkt.Key)
 		// A deleted cached key stays invalid in the switch until the
-		// controller evicts it; reads fall through here and miss.
+		// controller evicts it; reads fall through here and miss. A
+		// delete that removed nothing leaves the pair in sync already,
+		// so only an effective delete replicates.
+		if backup, bok := s.backupForLocked(pkt.Key); bok && ok {
+			repl = &pendingRepl{op: netproto.OpReplicateDelete, seq: version, backup: backup}
+		}
 	}
 	key := pkt.Key
+	if repl != nil {
+		// Replicate before acking (§4.3 order preserved: the switch
+		// invalidated the cached copy in flight, the primary applied; now
+		// the backup must confirm before the client ack and any cache
+		// refresh go out — an acked write survives a permanent primary
+		// failure). The applied-stamp is recorded on completion, so if
+		// replication gives up the client's retransmission re-applies and
+		// re-replicates instead of being deduped into a hollow ack.
+		repl.src = src
+		repl.reply = netproto.Reply(&pkt, nil, true)
+		repl.refresh = refresh
+		s.stateLocked(key).repl = repl
+		s.mu.Unlock()
+		s.sendReplicate(key, repl)
+		s.scheduleReplRetry(key, repl.seq)
+		return
+	}
+	s.applied[key] = writeStamp{src: src, seq: pkt.Seq}
+	if refresh != nil {
+		s.stateLocked(key).pending = refresh
+	}
 	s.mu.Unlock()
 
 	// Reply to the client immediately — the agent does not wait for the
@@ -416,6 +506,211 @@ func (s *Server) handleAck(pkt netproto.Packet) {
 	s.drainLocked(pkt.Key, st) // unlocks
 }
 
+// backupForLocked resolves the backup address for key's home partition, if
+// this node currently primaries it with a configured replica.
+func (s *Server) backupForLocked(key netproto.Key) (netproto.Addr, bool) {
+	if s.cfg.PartitionOf == nil || len(s.replicas) == 0 {
+		return 0, false
+	}
+	b, ok := s.replicas[s.cfg.PartitionOf(key)]
+	if !ok || b == 0 || b == s.cfg.Addr {
+		return 0, false
+	}
+	return b, true
+}
+
+// sendReplicate ships an applied write to the backup. Both ends use node
+// aliases, not home addresses: the backup's home route may have been
+// re-pointed at this very node by an earlier failover (a rejoined ex-primary
+// is addressed by a route that still targets its replacement), and the
+// backup's ack must likewise reach this node even if our home route has
+// moved. Aliases always route to the physical server.
+func (s *Server) sendReplicate(key netproto.Key, pr *pendingRepl) {
+	s.Metrics.ReplicatesSent.Inc()
+	pkt := netproto.Packet{Op: pr.op, Seq: pr.seq, Key: key, Value: pr.value}
+	s.sendPacketFrom(netproto.NodeAlias(pr.backup), netproto.NodeAlias(s.cfg.Addr), &pkt)
+}
+
+// scheduleReplRetry arms the replication retransmission timer, mirroring
+// the cache-update reliability protocol.
+func (s *Server) scheduleReplRetry(key netproto.Key, seq uint64) {
+	s.mu.Lock()
+	st := s.keys[key]
+	if st == nil || st.repl == nil || st.repl.seq != seq {
+		s.mu.Unlock()
+		return // already acked
+	}
+	pr := st.repl
+	pr.timer = time.AfterFunc(s.cfg.RetryInterval, func() { s.replRetry(key, seq) })
+	s.mu.Unlock()
+}
+
+func (s *Server) replRetry(key netproto.Key, seq uint64) {
+	s.mu.Lock()
+	st := s.keys[key]
+	if st == nil || st.repl == nil || st.repl.seq != seq {
+		s.mu.Unlock()
+		return // acked in the meantime
+	}
+	pr := st.repl
+	pr.tries++
+	if pr.tries >= s.cfg.MaxRetries {
+		s.completeReplLocked(key, st, false) // unlocks
+		return
+	}
+	s.Metrics.ReplicateRetries.Inc()
+	s.mu.Unlock()
+	s.sendReplicate(key, pr)
+	s.scheduleReplRetry(key, seq)
+}
+
+// completeReplLocked finishes an in-flight replication: on ack it records
+// the replay stamp, releases the client reply, and fires any parked cache
+// refresh; on give-up it withholds the ack entirely — the backup is
+// unreachable, and acknowledging an unreplicated write would break the
+// durability contract. The client's retransmission re-applies the write,
+// by which time the failure detector has usually reconfigured the pair.
+// Called with the lock held; releases it.
+func (s *Server) completeReplLocked(key netproto.Key, st *keyState, acked bool) {
+	pr := st.repl
+	st.repl = nil
+	if !acked {
+		s.Metrics.ReplicateGiveUps.Inc()
+		s.drainLocked(key, st) // unlocks
+		return
+	}
+	s.applied[key] = writeStamp{src: pr.src, seq: pr.reply.Seq}
+	refresh := pr.refresh
+	if refresh != nil {
+		st.pending = refresh
+	}
+	s.mu.Unlock()
+	s.reply(pr.src, pr.reply)
+	if refresh != nil {
+		s.sendCacheUpdate(key, refresh)
+		s.scheduleRetry(key, refresh.seq)
+		return
+	}
+	s.mu.Lock()
+	if st := s.keys[key]; st != nil {
+		s.drainLocked(key, st) // unlocks
+	} else {
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) handleReplAck(pkt netproto.Packet) {
+	s.mu.Lock()
+	st := s.keys[pkt.Key]
+	if st == nil || st.repl == nil || st.repl.seq != pkt.Seq {
+		s.Metrics.StaleAcks.Inc()
+		s.mu.Unlock()
+		return
+	}
+	if st.repl.timer != nil {
+		st.repl.timer.Stop()
+	}
+	s.completeReplLocked(pkt.Key, st, true) // unlocks
+}
+
+// handleReplicate is the backup side: apply the primary's write if it is
+// newer than the replication stamp, then ack. The stamp makes duplicated
+// and reordered replication frames idempotent, and for deletes it is the
+// tombstone that stops a stale Replicate from resurrecting the key.
+func (s *Server) handleReplicate(src netproto.Addr, pkt netproto.Packet) {
+	s.mu.Lock()
+	if s.replStamp == nil {
+		s.replStamp = make(map[netproto.Key]uint64)
+	}
+	if pkt.Seq > s.replStamp[pkt.Key] {
+		s.replStamp[pkt.Key] = pkt.Seq
+		if pkt.Op == netproto.OpReplicate {
+			s.store.PutAt(pkt.Key, pkt.Value, pkt.Seq)
+		} else {
+			s.store.BumpVersion(pkt.Key, pkt.Seq)
+			s.store.Delete(pkt.Key)
+		}
+		s.Metrics.ReplicatesApplied.Inc()
+	} else {
+		s.Metrics.ReplicatesDeduped.Inc()
+	}
+	s.mu.Unlock()
+	s.reply(src, netproto.Packet{Op: netproto.OpReplicateAck, Seq: pkt.Seq, Key: pkt.Key})
+}
+
+// Ping is the failure detector's heartbeat probe: a crashed server does
+// not answer.
+func (s *Server) Ping() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.down
+}
+
+// SetReplica registers backup as the replica of the home partition this
+// node primaries. Controller-owned: the pairing changes only on failover
+// and rejoin.
+func (s *Server) SetReplica(home, backup netproto.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return
+	}
+	if s.replicas == nil {
+		s.replicas = make(map[netproto.Addr]netproto.Addr)
+	}
+	s.replicas[home] = backup
+}
+
+// DropReplica stops replicating the home partition (backup declared dead
+// or partition handed off).
+func (s *Server) DropReplica(home netproto.Addr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.replicas, home)
+}
+
+// ReplicaApply is the anti-entropy catch-up path: install (value, version)
+// if it is newer than what this node has seen for key. It uses the same
+// stamp as live replication, so a resync copy and a concurrent replicated
+// write commute — the higher version wins regardless of arrival order.
+func (s *Server) ReplicaApply(key netproto.Key, value []byte, version uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down {
+		return false
+	}
+	if s.replStamp == nil {
+		s.replStamp = make(map[netproto.Key]uint64)
+	}
+	if version <= s.replStamp[key] {
+		return false
+	}
+	s.replStamp[key] = version
+	return s.store.PutAt(key, value, version)
+}
+
+// ReplicaStamp returns the replication stamp recorded for key (0 if none).
+func (s *Server) ReplicaStamp(key netproto.Key) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replStamp[key]
+}
+
+// ReplicaDrop removes key from the store iff its replication stamp still
+// equals stamp — the compare-and-drop the controller uses to prune keys
+// deleted at the primary while this node was down. If a live replicated
+// write advanced the stamp since the controller sampled it, the drop is
+// refused and the newer value stays.
+func (s *Server) ReplicaDrop(key netproto.Key, stamp uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down || s.replStamp[key] != stamp {
+		return false
+	}
+	s.store.Delete(key)
+	return true
+}
+
 // BlockWrites opens a controller write-block window on key (used during
 // cache insertion). Blocks nest. A crashed server ignores the call — its
 // protocol state is gone anyway, and reads fall through to misses.
@@ -453,12 +748,27 @@ func (s *Server) FetchValue(key netproto.Key) (value []byte, version uint64, ok 
 	return s.store.Get(key)
 }
 
+// ProbeValue reports whether key is present, distinguishing absence from
+// unreachability: present is only meaningful when alive. The resync prune
+// drops backup keys solely on a live node's word (see
+// controller.ReplicatedNode).
+func (s *Server) ProbeValue(key netproto.Key) (present, alive bool) {
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return false, false
+	}
+	_, _, ok := s.store.Get(key)
+	return ok, true
+}
+
 // drainLocked processes the next queued write if the key is now unblocked,
 // and garbage-collects empty states. It is called with the lock held and
 // releases it.
 func (s *Server) drainLocked(key netproto.Key, st *keyState) {
-	if st.blocks > 0 || st.pending != nil || len(st.queue) == 0 {
-		if st.blocks == 0 && st.pending == nil && len(st.queue) == 0 {
+	if st.blocks > 0 || st.pending != nil || st.repl != nil || len(st.queue) == 0 {
+		if st.blocks == 0 && st.pending == nil && st.repl == nil && len(st.queue) == 0 {
 			delete(s.keys, key)
 		}
 		s.mu.Unlock()
@@ -479,8 +789,15 @@ func (s *Server) reply(dst netproto.Addr, pkt netproto.Packet) {
 // recycles the buffer: send implementations (simnet.Inject, udptrans.Send)
 // consume the frame synchronously and do not retain it.
 func (s *Server) sendPacket(dst netproto.Addr, pkt *netproto.Packet) {
+	s.sendPacketFrom(dst, s.cfg.Addr, pkt)
+}
+
+// sendPacketFrom is sendPacket with an explicit source address — the
+// replication path stamps its node alias so acks route back to the physical
+// node rather than to wherever its home address currently points.
+func (s *Server) sendPacketFrom(dst, src netproto.Addr, pkt *netproto.Packet) {
 	frame := bufpool.Get()
-	frame, err := netproto.AppendFramePacket(frame, dst, s.cfg.Addr, pkt)
+	frame, err := netproto.AppendFramePacket(frame, dst, src, pkt)
 	if err != nil {
 		bufpool.Put(frame)
 		return

@@ -182,7 +182,7 @@ type Net struct {
 	faults  map[faultKey]FaultRule
 	reorder map[faultKey]*reorderBuf
 	parts   map[uint64]struct{} // partitioned (in,out) port pairs
-	down    map[int]bool
+	down    map[int]uint8       // per-port bitmask of downed Dir segments
 
 	rngCtr atomic.Uint64 // splitmix64 counter stream for fault draws
 
@@ -216,7 +216,7 @@ func New(sw Switch) *Net {
 		faults:  make(map[faultKey]FaultRule),
 		reorder: make(map[faultKey]*reorderBuf),
 		parts:   make(map[uint64]struct{}),
-		down:    make(map[int]bool),
+		down:    make(map[int]uint8),
 	}
 	if bsw, ok := sw.(batchSwitch); ok {
 		n.bsw = bsw
@@ -297,7 +297,7 @@ func (n *Net) ClearFaults() {
 	defer n.faultMu.Unlock()
 	n.faults = make(map[faultKey]FaultRule)
 	n.parts = make(map[uint64]struct{})
-	n.down = make(map[int]bool)
+	n.down = make(map[int]uint8)
 }
 
 // SetPartitioned partitions (or heals, with partitioned=false) the network
@@ -321,15 +321,30 @@ func (n *Net) SetPartitioned(groupA, groupB []int, partitioned bool) {
 	}
 }
 
-// SetPortDown takes a port's link down (or up): everything injected at or
-// emitted toward a down port is discarded, as with an unplugged cable.
+// SetPortDown takes a port's link down (or up) in both directions:
+// everything injected at or emitted toward a down port is discarded, as
+// with an unplugged cable.
 func (n *Net) SetPortDown(port int, isDown bool) {
+	n.SetPortDirDown(port, ToSwitch, isDown)
+	n.SetPortDirDown(port, FromSwitch, isDown)
+}
+
+// SetPortDirDown takes one direction of a port's link down (or up): an
+// asymmetric cable fault. With only ToSwitch down, frames injected at the
+// port vanish but the switch still delivers toward it; with only FromSwitch
+// down, the endpoint's frames get in but nothing comes back. Either half
+// alone makes requests across the port time out while the other half keeps
+// draining late traffic.
+func (n *Net) SetPortDirDown(port int, dir Dir, isDown bool) {
 	n.faultMu.Lock()
 	defer n.faultMu.Unlock()
+	mask := uint8(1) << dir
 	if isDown {
-		n.down[port] = true
-	} else {
+		n.down[port] |= mask
+	} else if m := n.down[port] &^ mask; m == 0 {
 		delete(n.down, port)
+	} else {
+		n.down[port] = m
 	}
 }
 
@@ -357,11 +372,11 @@ func (n *Net) rand01() float64 {
 	return float64(n.randU64()>>11) / float64(1<<53)
 }
 
-func (n *Net) isDown(port int) bool {
+func (n *Net) isDown(port int, dir Dir) bool {
 	n.faultMu.RLock()
 	d := n.down[port]
 	n.faultMu.RUnlock()
-	return d
+	return d&(uint8(1)<<dir) != 0
 }
 
 func (n *Net) partitioned(in, out int) bool {
@@ -454,7 +469,7 @@ func (n *Net) corruptCopy(frame []byte) []byte {
 // without waiting for the handler to run. The fabric never retains frame
 // after Inject returns: callers (client retransmission buffers) may reuse it.
 func (n *Net) Inject(frame []byte, port int) error {
-	if n.isDown(port) {
+	if n.isDown(port, ToSwitch) {
 		n.DownDropped.Inc()
 		return nil
 	}
@@ -486,7 +501,7 @@ type batchSink struct {
 // the snake-test topology, not the hot path). Like Inject, the injected
 // frames are not retained.
 func (n *Net) InjectBatch(frames [][]byte, port int) error {
-	if n.isDown(port) {
+	if n.isDown(port, ToSwitch) {
 		for range frames {
 			n.DownDropped.Inc()
 		}
@@ -560,7 +575,7 @@ func (n *Net) forward(frame []byte, inPort int, sink *batchSink) error {
 			dataplane.ReleaseFrame(em)
 			continue
 		}
-		if n.isDown(em.Port) {
+		if n.isDown(em.Port, FromSwitch) {
 			n.DownDropped.Inc()
 			dataplane.ReleaseFrame(em)
 			continue
@@ -661,7 +676,7 @@ func (n *Net) Flush() error {
 			return nil
 		}
 		for _, p := range todo {
-			if n.isDown(p.key.port) {
+			if n.isDown(p.key.port, p.key.dir) {
 				n.DownDropped.Inc()
 				continue
 			}

@@ -412,3 +412,48 @@ func TestFaultDeterminism(t *testing.T) {
 		t.Fatalf("two seeded runs diverged:\n%v\n%v", a, b)
 	}
 }
+
+func TestPortDirDown(t *testing.T) {
+	n := New(&loopSwitch{})
+	delivered := 0
+	n.Attach(1, func([]byte) { delivered++ })
+
+	// Only the injecting half of port 0 is down: its frames vanish, but the
+	// switch still emits toward it and other ports are untouched.
+	n.SetPortDirDown(0, ToSwitch, true)
+	n.Inject([]byte{1}, 0)
+	if delivered != 0 {
+		t.Fatalf("ToSwitch-down port injected %d frames", delivered)
+	}
+	n.Inject([]byte{1}, 2) // unaffected port still reaches 1
+	if delivered != 1 {
+		t.Fatal("unrelated port was affected by a directional fault")
+	}
+	n.SetPortDirDown(0, ToSwitch, false)
+
+	// Only the emitting half of port 1 is down: injections get in but
+	// nothing is delivered out of port 1.
+	n.SetPortDirDown(1, FromSwitch, true)
+	n.Inject([]byte{1}, 0)
+	if delivered != 1 {
+		t.Fatal("FromSwitch-down port still delivered")
+	}
+	// The opposite direction of the same port keeps working: port 1 can
+	// still inject toward others.
+	got2 := 0
+	n.Attach(2, func([]byte) { got2++ })
+	n.Inject([]byte{2}, 1)
+	if got2 != 1 {
+		t.Fatal("ToSwitch half of a FromSwitch-down port was blocked")
+	}
+	if n.DownDropped.Value() != 2 {
+		t.Errorf("DownDropped = %d, want 2", n.DownDropped.Value())
+	}
+
+	// Healing one direction restores it without touching the other.
+	n.SetPortDirDown(1, FromSwitch, false)
+	n.Inject([]byte{1}, 0)
+	if delivered != 2 {
+		t.Error("healed direction still drops")
+	}
+}

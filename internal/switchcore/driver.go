@@ -96,6 +96,30 @@ func (sw *Switch) RemoveCacheEntry(key netproto.Key, keyIndex int) (bool, error)
 	return ok, err
 }
 
+// RebindCacheEntry rewrites an installed item's lookup entry with a new
+// server port — the failover path, where a partition's cached keys must
+// start attributing ownership (PutCached forwarding and the CacheUpdate
+// acceptance check) to the promoted backup. Value, validity, version and
+// counter slots are untouched, so a valid hot key keeps serving at line
+// rate through the entire switchover.
+func (sw *Switch) RebindCacheEntry(key netproto.Key, keyIndex int, p cachemem.Placement, serverPort int) error {
+	if serverPort < 0 || serverPort >= sw.cfg.Chip.NumPorts() {
+		return fmt.Errorf("switchcore: rebind port %d out of range", serverPort)
+	}
+	if keyIndex < 0 || keyIndex >= sw.cfg.CacheSize {
+		return fmt.Errorf("switchcore: key index %d out of range", keyIndex)
+	}
+	var err error
+	sw.pl.Control(func() {
+		mu := sw.keyLock(keyIndex)
+		mu.Lock()
+		defer mu.Unlock()
+		err = sw.lookup.AddEntry(keyFields(key), "hit",
+			[]uint64{packHitData(p.Bitmap, p.Index, keyIndex, serverPort)})
+	})
+	return err
+}
+
 // MoveCacheEntry applies a reorganization move (§4.4.2 "periodic memory
 // reorganization"): it copies the item's value bytes to the new placement
 // and atomically rewrites the lookup entry.

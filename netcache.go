@@ -141,6 +141,14 @@ type Config struct {
 	// GetBatch/GetMulti (outstanding requests per batch); zero uses the
 	// client default of 32.
 	Window int
+	// Replicate enables the replicated storage tier: every key partition
+	// gets a backup server (ring pairing), writes replicate before they
+	// are acked, and the controller's failure detector fails a dead
+	// primary's partition over to its backup. Requires Servers ≥ 2.
+	Replicate bool
+	// HeartbeatMisses is the failure detector's death threshold in
+	// controller Ticks (zero means 3). Only meaningful with Replicate.
+	HeartbeatMisses int
 }
 
 // PaperSwitchConfig returns the prototype's switch program dimensions (§6):
@@ -157,14 +165,16 @@ type Rack struct {
 // New builds a rack.
 func New(cfg Config) (*Rack, error) {
 	r, err := rack.New(rack.Config{
-		Switch:        cfg.Switch,
-		Servers:       cfg.Servers,
-		Clients:       cfg.Clients,
-		CacheCapacity: cfg.CacheCapacity,
-		ServerShards:  cfg.ServerShards,
-		WritePolicy:   cfg.WritePolicy,
-		StorageEngine: cfg.StorageEngine,
-		ClientWindow:  cfg.Window,
+		Switch:          cfg.Switch,
+		Servers:         cfg.Servers,
+		Clients:         cfg.Clients,
+		CacheCapacity:   cfg.CacheCapacity,
+		ServerShards:    cfg.ServerShards,
+		WritePolicy:     cfg.WritePolicy,
+		StorageEngine:   cfg.StorageEngine,
+		ClientWindow:    cfg.Window,
+		Replicate:       cfg.Replicate,
+		HeartbeatMisses: cfg.HeartbeatMisses,
 	})
 	if err != nil {
 		return nil, err
