@@ -98,8 +98,12 @@ type Metrics struct {
 	Resyncs        stats.Counter
 	Adopted        stats.Counter
 
-	// Failure detector / replication management.
+	// Failure detector / replication management. Restarts counts nodes
+	// that crashed and came back inside the detection window (seen via
+	// their incarnation, never declared dead); Rejoins counts nodes that
+	// returned after being declared dead.
 	Deaths         stats.Counter
+	Restarts       stats.Counter
 	Rejoins        stats.Counter
 	Failovers      stats.Counter
 	FailoverStalls stats.Counter
@@ -257,9 +261,9 @@ func (c *Controller) Tick() {
 		c.resyncPartition(t)
 	}
 
-	// Control-plane updates first: items whose values outgrew their slot
-	// allocation are reinstalled with a fresh placement (§4.3: "the new
-	// values must be updated by the control plane").
+	// Then the control-plane value updates: items whose values outgrew
+	// their slot allocation are reinstalled with a fresh placement (§4.3:
+	// "the new values must be updated by the control plane").
 	grown := make(map[netproto.Key]bool)
 drainOverflow:
 	for {

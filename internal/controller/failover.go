@@ -28,6 +28,12 @@ type ReplicatedNode interface {
 	// Ping is the heartbeat probe; false (or no answer, in a networked
 	// deployment) counts as a miss.
 	Ping() bool
+	// Incarnation counts the node's process lifetimes. A change between
+	// two successful pings means the node crashed and restarted inside the
+	// detection window — it never missed enough probes to be declared
+	// dead, but its volatile replica registrations are gone all the same,
+	// so the detector must treat the restart as a membership change.
+	Incarnation() uint64
 	// SetReplica/DropReplica configure live replication of the partition
 	// homed at home on the node currently serving it as primary.
 	SetReplica(home, backup netproto.Addr)
@@ -54,6 +60,8 @@ type member struct {
 	node   ReplicatedNode
 	misses int
 	dead   bool
+	// inc is the incarnation observed on the last successful probe.
+	inc uint64
 }
 
 // partition tracks who serves and who backs one key partition. home is the
@@ -86,7 +94,7 @@ func (c *Controller) initReplication() {
 	c.members = make(map[netproto.Addr]*member)
 	for addr, node := range c.cfg.Nodes {
 		if rn, ok := node.(ReplicatedNode); ok {
-			c.members[addr] = &member{node: rn}
+			c.members[addr] = &member{node: rn, inc: rn.Incarnation()}
 		}
 	}
 	c.parts = make(map[netproto.Addr]*partition)
@@ -129,6 +137,21 @@ func (c *Controller) heartbeatAndRepair() []resyncTask {
 		m := c.members[addr]
 		if m.node.Ping() {
 			m.misses = 0
+			if inc := m.node.Incarnation(); inc != m.inc {
+				m.inc = inc
+				if !m.dead {
+					// The node crashed and came back between two probes: it
+					// never missed enough pings to be declared dead, but its
+					// replica registrations died with the old process, so
+					// replication is silently off. Treat the restart as the
+					// membership change it is — fail its partitions over to
+					// their ready backups, detach it as backup elsewhere
+					// (epoch++ both ways), and let repairLocked re-register
+					// and re-certify it before it is promotable again.
+					c.Metrics.Restarts.Inc()
+					c.declareDeadLocked(addr)
+				}
+			}
 			if m.dead {
 				m.dead = false
 				c.Metrics.Rejoins.Inc()
@@ -276,9 +299,26 @@ func (c *Controller) Resync(addr netproto.Addr) int {
 // Live replication is enabled first, so writes that land during the copy
 // stream to the backup on their own; the snapshot and the live stream
 // commute through the per-key version stamp (higher version wins regardless
-// of arrival order). Runs without the controller lock held.
+// of arrival order). Runs without the controller lock held, except for the
+// epoch-validated registration below.
 func (c *Controller) resyncPartition(t resyncTask) bool {
+	// Register the replica atomically with an epoch check. The task was
+	// snapshotted under the lock, so a membership change (the backup
+	// declared dead, the assignment moved) can land before we get here —
+	// declareDeadLocked has then already issued DropReplica, and a late
+	// SetReplica would overwrite it, pointing replication at a dead node:
+	// every write to the partition would retry into the void and never ack.
+	// Validated and registered under the same critical section, any later
+	// membership change strictly follows this registration and its
+	// DropReplica wins.
+	c.mu.Lock()
+	if p := c.parts[t.home]; p == nil || p.epoch != t.epoch || p.backup != t.backup.Addr() {
+		c.mu.Unlock()
+		c.Metrics.ResyncAborts.Inc()
+		return false
+	}
 	t.primary.SetReplica(t.home, t.backup.Addr())
+	c.mu.Unlock()
 
 	// Copy the primary's partition keys, newest-version-wins.
 	type item struct {

@@ -19,6 +19,7 @@ import (
 type fakeNode struct {
 	addr  netproto.Addr
 	alive atomic.Bool
+	inc   atomic.Uint64
 	store *gateEngine
 
 	mu       sync.Mutex
@@ -40,7 +41,25 @@ func (n *fakeNode) Addr() netproto.Addr        { return n.addr }
 func (n *fakeNode) BlockWrites(netproto.Key)   {}
 func (n *fakeNode) UnblockWrites(netproto.Key) {}
 func (n *fakeNode) Ping() bool                 { return n.alive.Load() }
+func (n *fakeNode) Incarnation() uint64        { return n.inc.Load() }
 func (n *fakeNode) Store() kvstore.Engine      { return n.store }
+
+// crashRestart models a crash-restart cycle faster than a heartbeat: the
+// node stays pingable throughout, but the new process has a fresh
+// incarnation and empty replica registrations (as server.Crash leaves them).
+func (n *fakeNode) crashRestart() {
+	n.mu.Lock()
+	n.replicas = make(map[netproto.Addr]netproto.Addr)
+	n.mu.Unlock()
+	n.inc.Add(1)
+}
+
+// replicaOf reports the node's registered backup for home (0 = none).
+func (n *fakeNode) replicaOf(home netproto.Addr) netproto.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.replicas[home]
+}
 
 func (n *fakeNode) FetchValue(key netproto.Key) ([]byte, uint64, bool) {
 	if !n.alive.Load() {
@@ -206,5 +225,77 @@ func TestResyncRacingMembershipChange(t *testing.T) {
 	}
 	if v, _, ok := back.store.Get(key); !ok || string(v) != "survives" {
 		t.Fatalf("backup missing the primary's data after resync: %q %v", v, ok)
+	}
+}
+
+// TestRestartWithinDetectionWindow crash-restarts the primary between two
+// heartbeats: no probe run ever reaches the miss threshold, so a detector
+// keyed on liveness alone would keep backupReady=true while the restarted
+// process — its replica registrations gone — replicates nothing, and a
+// later real failure would promote a stale backup. The incarnation check
+// must surface the fast restart as a membership change: fail the partition
+// over to its ready backup, re-register replication on the serving node,
+// and re-certify the restarted one before it is promotable again.
+func TestRestartWithinDetectionWindow(t *testing.T) {
+	sw, err := switchcore.New(switchcore.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		primAddr = netproto.Addr(1)
+		backAddr = netproto.Addr(2)
+	)
+	prim := newFakeNode(primAddr, &gateEngine{Engine: kvstore.New(1)})
+	back := newFakeNode(backAddr, &gateEngine{Engine: kvstore.New(1)})
+	c, err := controller.New(controller.Config{
+		Switch:          sw,
+		Nodes:           map[netproto.Addr]controller.StorageNode{primAddr: prim, backAddr: back},
+		PortOf:          func(a netproto.Addr) (int, bool) { return int(a) - 1, true },
+		Partition:       func(netproto.Key) netproto.Addr { return primAddr },
+		Backups:         map[netproto.Addr]netproto.Addr{primAddr: backAddr},
+		HeartbeatMisses: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prim.replicaOf(primAddr); got != backAddr {
+		t.Fatalf("initial replica registration = %v, want %v", got, backAddr)
+	}
+
+	// One missed probe — far from the threshold — then the node is back
+	// before the next, with its registrations wiped as a crash leaves them.
+	prim.alive.Store(false)
+	c.Tick()
+	prim.alive.Store(true)
+	prim.crashRestart()
+	c.Tick()
+
+	if got := c.Metrics.Deaths.Value(); got != 0 {
+		t.Fatalf("Deaths = %d: the restart was meant to dodge the miss threshold", got)
+	}
+	if c.Metrics.Restarts.Value() == 0 {
+		t.Fatal("incarnation change on a live node went undetected: replication is silently off")
+	}
+	if primary, _, _, ok := c.ReplicaState(primAddr); !ok || primary != backAddr {
+		t.Fatalf("partition did not fail over to the ready backup: primary=%v ok=%v", primary, ok)
+	}
+
+	// Converge: the restarted node rejoins as backup of its old partition
+	// and the serving node carries a live replica registration again.
+	deadline := time.Now().Add(time.Second)
+	for {
+		primary, backup, ready, ok := c.ReplicaState(primAddr)
+		if ok && ready && primary == backAddr && backup == primAddr {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("partition never re-certified after the fast restart (primary=%v backup=%v ready=%v)",
+				primary, backup, ready)
+		}
+		c.Tick()
+	}
+	if got := back.replicaOf(primAddr); got != primAddr {
+		t.Fatalf("serving node's replica registration = %v, want %v (writes would not replicate)",
+			got, primAddr)
 	}
 }

@@ -219,6 +219,56 @@ func TestRejoinResyncAndFailBack(t *testing.T) {
 	}
 }
 
+// A primary that crashes and restarts between two heartbeats never misses
+// enough probes to be declared dead, yet its replica registrations died with
+// the process. The detector must catch the restart through the node's
+// incarnation and re-establish the pair — otherwise every write acked after
+// the restart exists only on one node and a later real failure loses it.
+func TestQuickRestartKeepsWritesDurable(t *testing.T) {
+	r := newReplicatedRack(t, 3)
+	cli := r.Client(0)
+	key := keyHomedAt(t, r, 0)
+
+	if err := cli.Put(key, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and restart with no heartbeat in between: every probe the
+	// detector ever runs succeeds.
+	r.CrashServer(0)
+	r.RestartServer(0, false)
+	r.Tick()
+	if got := r.Controller.Metrics.Deaths.Value(); got != 0 {
+		t.Fatalf("Deaths = %d, the restart was meant to stay inside the detection window", got)
+	}
+	if r.Controller.Metrics.Restarts.Value() == 0 {
+		t.Fatal("fast restart went undetected: replication is silently off")
+	}
+	deadline := time.Now().Add(time.Second)
+	for {
+		if _, _, ready, ok := r.Controller.ReplicaState(ServerAddr(0)); ok && ready {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("partition never re-certified after the fast restart")
+		}
+		r.Tick()
+	}
+	// A write acked now must be replicated again: kill the serving node for
+	// good and the value has to come back from the promoted backup.
+	if err := cli.Put(key, []byte("v2")); err != nil {
+		t.Fatalf("post-restart Put: %v", err)
+	}
+	serving, _, _, _ := r.Controller.ReplicaState(ServerAddr(0))
+	r.CrashServer(int(serving) - 1)
+	for i := 0; i < 3; i++ {
+		r.Tick()
+	}
+	v, err := cli.Get(key)
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("post-failover Get = %q, %v (write acked after the quick restart was lost)", v, err)
+	}
+}
+
 // Keys deleted at the primary while the backup was away are pruned by the
 // resync instead of resurrecting on promotion.
 func TestResyncPrunesDeletedKeys(t *testing.T) {

@@ -82,6 +82,13 @@ type Server struct {
 	// are no-ops until Restart.
 	down bool
 
+	// incarnation counts the server's process lifetimes; Restart bumps it.
+	// The failure detector compares it across successful heartbeats to
+	// catch a crash-restart cycle that fit between two probes: the new
+	// process answers pings, but its volatile replica registrations died
+	// with the old one.
+	incarnation uint64
+
 	// applied is the per-key write replay guard: the source and sequence
 	// number of the last write applied to the store. A network that
 	// duplicates or reorders frames can deliver a client's retransmitted
@@ -96,7 +103,8 @@ type Server struct {
 	// replicas maps home partition address → backup address for the
 	// partitions this node currently serves as primary. Owned by the
 	// controller (SetReplica/DropReplica); volatile across a crash — the
-	// controller reconfigures the pair on rejoin.
+	// controller reconfigures the pair on rejoin, and the incarnation
+	// bump makes even a restart faster than the detection window visible.
 	replicas map[netproto.Addr]netproto.Addr
 
 	// replStamp is the backup-side replication guard: per key, the highest
@@ -229,6 +237,7 @@ func (s *Server) Restart(wipeStore bool) {
 		s.applied = make(map[netproto.Key]writeStamp)
 		s.replStamp = nil
 	}
+	s.incarnation++
 	s.down = false
 }
 
@@ -644,6 +653,15 @@ func (s *Server) Ping() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return !s.down
+}
+
+// Incarnation returns the server's process lifetime counter (see the field
+// doc): a different value across two successful pings means the server
+// restarted in between, however quickly.
+func (s *Server) Incarnation() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.incarnation
 }
 
 // SetReplica registers backup as the replica of the home partition this
