@@ -46,6 +46,10 @@ bench-json:
 		-bench 'BenchmarkFailover' \
 		. | $(GO) run ./cmd/benchjson > BENCH_failover.json
 	@cat BENCH_failover.json
+	$(GO) test -run xxx -benchmem \
+		-bench 'BenchmarkObs' \
+		. | $(GO) run ./cmd/benchjson > BENCH_obs.json
+	@cat BENCH_obs.json
 
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:

@@ -46,6 +46,8 @@ func main() {
 	serversPerRack := flag.Int("servers-per-rack", harness.MultiRackParams.ServersPerRack, "multirack: storage servers per rack")
 	spineCache := flag.Int("spine-cache", harness.MultiRackParams.SpineCache, "multirack: spine switch cache capacity")
 	torCache := flag.Int("tor-cache", harness.MultiRackParams.TorCache, "multirack: per-ToR switch cache capacity")
+	statsEvery := flag.Duration("stats-every", 0, "chaosbench: dump a full observability snapshot (JSON, stderr) on this period (0 disables)")
+	trace := flag.Int("trace", 0, "chaosbench: enable query tracing with a ring of this many records; tail dumped to stderr per row (0 disables)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -59,6 +61,8 @@ func main() {
 		JitterFrac: *jitterFrac, Hedge: *hedge, Seed: *clientSeed,
 	}
 	harness.ChaosWindow = *window
+	harness.StatsEvery = *statsEvery
+	harness.ChaosTrace = *trace
 	harness.MultiRackParams.Racks = *racks
 	harness.MultiRackParams.ServersPerRack = *serversPerRack
 	harness.MultiRackParams.SpineCache = *spineCache

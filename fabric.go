@@ -98,6 +98,26 @@ func (fb *Fabric) TorCacheLen(r int) int {
 // RackOf returns the rack index owning key.
 func (fb *Fabric) RackOf(key Key) int { return fb.f.RackOf(key) }
 
+// Snapshot collects every component counter across both tiers —
+// "spine.*", "tor<r>.*" (switch, net, servers, controller each), and
+// "client<i>.*" with per-op latency histograms — into one named,
+// JSON-serializable view. Safe to call during traffic.
+func (fb *Fabric) Snapshot() Snapshot { return fb.f.Snapshot() }
+
+// SpineSnapshot returns just the spine tier's slice of the snapshot
+// (prefixes stripped).
+func (fb *Fabric) SpineSnapshot() Snapshot { return fb.f.SpineSnapshot() }
+
+// TorSnapshot returns just rack r's ToR-tier slice of the snapshot.
+func (fb *Fabric) TorSnapshot(r int) Snapshot { return fb.f.TorSnapshot(r) }
+
+// EnableTrace turns on query tracing across both tiers into a bounded
+// ring; DisableTrace turns it back off.
+func (fb *Fabric) EnableTrace(capacity int) *TraceRing { return fb.f.EnableTrace(capacity) }
+
+// DisableTrace removes the query-trace taps installed by EnableTrace.
+func (fb *Fabric) DisableTrace() { fb.f.SetTraceRing(nil) }
+
 // RebootSpine power-cycles the spine switch. Routes are re-provisioned
 // immediately; until the spine controller's next Tick every query falls
 // through to the ToR tier, which keeps serving its cached rack heads.

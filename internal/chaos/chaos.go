@@ -84,6 +84,8 @@ type Report struct {
 	Ops, Timeouts uint64
 	// Fault-fabric activity, proving the scenario exercised the fabric.
 	Duplicated, Reordered, CorruptInjected, PartitionDropped, LossDropped, DownDropped uint64
+	// Delivery accounting, inputs to the end-of-run conservation laws.
+	Delivered, Unattached uint64
 	// Lifecycle activity.
 	ServerCrashes, SwitchReboots, ControllerRestarts int
 }

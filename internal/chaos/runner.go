@@ -143,7 +143,19 @@ type runner struct {
 	mu     sync.Mutex
 	report *Report
 
+	// issued counts completed query-method calls per client — the ground
+	// truth for the client accounting law Sent - Retransmit - Hedges ==
+	// first attempts == issued. Every path that calls a client query method
+	// (workload, warmup, convergence probes) must count here.
+	issued map[*client.Client]uint64
+
 	downServers map[int]bool
+}
+
+func (rn *runner) countIssued(cli *client.Client) {
+	rn.mu.Lock()
+	rn.issued[cli]++
+	rn.mu.Unlock()
 }
 
 func (rn *runner) violate(format string, args ...any) {
@@ -179,6 +191,7 @@ func Run(cfg Config) (*Report, error) {
 		cfg:         cfg,
 		rack:        r,
 		report:      &Report{Seed: cfg.Seed},
+		issued:      make(map[*client.Client]uint64),
 		downServers: make(map[int]bool),
 	}
 	rn.keys = make([]netproto.Key, cfg.Keys)
@@ -212,6 +225,7 @@ func Run(cfg Config) (*Report, error) {
 
 	rn.converge()
 	rn.snapshotCounters()
+	rn.checkConservation()
 	return rn.report, nil
 }
 
@@ -333,6 +347,7 @@ func (rn *runner) get(cli *client.Client, kid int) {
 	o := rn.oracles[kid]
 	floor := o.floor()
 	val, err := cli.Get(rn.keys[kid])
+	rn.countIssued(cli)
 	rn.countOp(err)
 	if msg := o.checkRead(kid, floor, val, err, rn.cfg.ValueSize); msg != "" {
 		rn.violate("%s", msg)
@@ -343,6 +358,7 @@ func (rn *runner) put(cli *client.Client, kid int) {
 	o := rn.oracles[kid]
 	ver := o.issue(opPut)
 	err := cli.Put(rn.keys[kid], encodeValue(kid, ver, rn.cfg.ValueSize))
+	rn.countIssued(cli)
 	rn.countOp(err)
 	if err == nil {
 		o.ack(ver)
@@ -353,6 +369,7 @@ func (rn *runner) del(cli *client.Client, kid int) {
 	o := rn.oracles[kid]
 	ver := o.issue(opDelete)
 	err := cli.Delete(rn.keys[kid])
+	rn.countIssued(cli)
 	rn.countOp(err)
 	if err == nil {
 		o.ack(ver)
@@ -378,7 +395,9 @@ func (rn *runner) converge() {
 		o := rn.oracles[kid]
 		floor := o.floor()
 		vA, errA := cliA.Get(key)
+		rn.countIssued(cliA)
 		vB, errB := cliB.Get(key)
+		rn.countIssued(cliB)
 		if errors.Is(errA, client.ErrTimeout) || errors.Is(errB, client.ErrTimeout) {
 			rn.violate("key %d: timeout after faults cleared (A=%v B=%v)", kid, errA, errB)
 			continue
@@ -406,12 +425,15 @@ func (rn *runner) converge() {
 			o := rn.oracles[kid]
 			ver := o.issue(opPut)
 			want := encodeValue(kid, ver, rn.cfg.ValueSize)
-			if err := cli.Put(rn.keys[kid], want); err != nil {
+			err := cli.Put(rn.keys[kid], want)
+			rn.countIssued(cli)
+			if err != nil {
 				rn.violate("key %d: post-chaos probe write failed: %v", kid, err)
 				continue
 			}
 			o.ack(ver)
 			got, err := cli.Get(rn.keys[kid])
+			rn.countIssued(cli)
 			if err != nil || string(got) != string(want) {
 				rn.violate("key %d: post-chaos probe read %q/%v, want %q", kid, got, err, want)
 			}
@@ -428,4 +450,57 @@ func (rn *runner) snapshotCounters() {
 	rn.report.PartitionDropped = n.PartitionDropped.Value()
 	rn.report.LossDropped = n.LossDropped.Value()
 	rn.report.DownDropped = n.DownDropped.Value()
+	rn.report.Delivered = n.Delivered.Value()
+	rn.report.Unattached = n.Unattached.Value()
+}
+
+// checkConservation verifies end-of-run counter conservation laws, so a
+// metrics-accounting regression fails the chaos suite instead of silently
+// skewing every report built on these counters. Runs after converge(), with
+// faults cleared and the fabric flushed, so nothing is still in flight.
+//
+// Client law (exact): the client accounting contract says Sent counts first
+// attempts + retransmissions + hedges, so Sent - Retransmit - Hedges must
+// equal the number of query-method calls this runner made on that client
+// (every call transmits its first attempt exactly once — success, retry and
+// timeout paths alike). Timeouts can never exceed calls.
+//
+// Fabric laws (bounds, exact only on a clean fabric): every frame an
+// endpoint receives was emitted by the switch (TxPackets) or forged by
+// duplication after emission, so Delivered + Unattached <= TxPackets +
+// Duplicated. Conversely an emitted frame is delivered, unattached, or
+// dropped by loss/partition/port-down, and those drop counters also absorb
+// pre-switch drops, so Delivered + Unattached + LossDropped +
+// PartitionDropped + DownDropped >= TxPackets.
+func (rn *runner) checkConservation() {
+	var totalIssued uint64
+	for c := 0; c < rn.cfg.Clients; c++ {
+		cli := rn.rack.Client(c)
+		m := &cli.Metrics
+		sent, retx, hedges := m.Sent.Value(), m.Retransmit.Value(), m.Hedges.Value()
+		issued := rn.issued[cli]
+		totalIssued += issued
+		if first := sent - retx - hedges; first != issued {
+			rn.violate("conservation: client %d first attempts %d (sent=%d retx=%d hedges=%d) != issued ops %d",
+				c, first, sent, retx, hedges, issued)
+		}
+		if timeouts := m.Timeouts.Value(); timeouts > issued {
+			rn.violate("conservation: client %d timeouts %d > issued ops %d", c, timeouts, issued)
+		}
+	}
+	if totalIssued == 0 {
+		rn.violate("conservation: no ops issued — the scenario ran nothing")
+	}
+
+	tx := rn.rack.Switch.Pipeline().Stats().TxPackets
+	delivered := rn.report.Delivered + rn.report.Unattached
+	if delivered > tx+rn.report.Duplicated {
+		rn.violate("conservation: delivered+unattached %d > tx %d + duplicated %d",
+			delivered, tx, rn.report.Duplicated)
+	}
+	if delivered+rn.report.LossDropped+rn.report.PartitionDropped+rn.report.DownDropped < tx {
+		rn.violate("conservation: delivered+unattached %d + drops %d < tx %d — emitted frames vanished",
+			delivered,
+			rn.report.LossDropped+rn.report.PartitionDropped+rn.report.DownDropped, tx)
+	}
 }

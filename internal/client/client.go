@@ -24,6 +24,7 @@ import (
 
 	"netcache/internal/bufpool"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/stats"
 )
 
@@ -87,6 +88,17 @@ type Metrics struct {
 	// ambiguous because the attempt had been retransmitted or hedged.
 	RTTSamples  stats.Counter
 	KarnSkipped stats.Counter
+	// GetLatency/PutLatency/DeleteLatency are end-to-end per-op latency
+	// distributions in nanoseconds, measured from prepare (sequence
+	// assignment, immediately before the first transmission) to the winning
+	// reply. Only successful queries are observed; timeouts land in the
+	// Timeouts counter instead. Cached hits and server-path replies are
+	// indistinguishable here by design — the switch answers with the same
+	// opcode the server would — so per-path latency lives in the query
+	// trace, not the client histograms.
+	GetLatency    *stats.Histogram
+	PutLatency    *stats.Histogram
+	DeleteLatency *stats.Histogram
 }
 
 // Client issues NetCache queries over a frame transport. Safe for
@@ -107,6 +119,10 @@ type Client struct {
 	// jitterCtr is the client's splitmix64 jitter stream: seeded, lock-free,
 	// independent of the clock and of math/rand, so seeded runs replay.
 	jitterCtr atomic.Uint64
+
+	// trace, when set, receives per-query hop records. Kept in an atomic
+	// pointer so the disabled path is one load and a nil branch.
+	trace atomic.Pointer[qtrace.Tap]
 
 	// Metrics is exported for harnesses and tests.
 	Metrics Metrics
@@ -144,6 +160,9 @@ func New(cfg Config) (*Client, error) {
 		pending: make(map[uint64]chan netproto.Packet),
 		est:     make(map[netproto.Addr]*rtoEstimator),
 	}
+	c.Metrics.GetLatency = stats.NewLatencyHistogram()
+	c.Metrics.PutLatency = stats.NewLatencyHistogram()
+	c.Metrics.DeleteLatency = stats.NewLatencyHistogram()
 	// Distinct clients sharing a harness seed draw distinct jitter streams.
 	c.jitterCtr.Store(cfg.Policy.Seed ^ uint64(cfg.Addr)*0x9E3779B97F4A7C15)
 	return c, nil
@@ -329,6 +348,8 @@ type call struct {
 	seq   uint64
 	dst   netproto.Addr
 	op    netproto.Op
+	key   netproto.Key
+	start time.Time
 	frame []byte
 	ch    chan netproto.Packet
 }
@@ -350,13 +371,35 @@ func (c *Client) prepare(pkt netproto.Packet, cl *call) error {
 	cl.seq = seq
 	cl.dst = dst
 	cl.op = pkt.Op
+	cl.key = pkt.Key
+	cl.start = time.Now()
 	cl.frame = frame
 	cl.ch = make(chan netproto.Packet, 1)
 	c.mu.Lock()
 	c.pending[seq] = cl.ch
 	c.mu.Unlock()
+	c.trace.Load().Record(qtrace.ClientSend, cl.op, seq, cl.key, false, false)
 	return nil
 }
+
+// complete records the end-to-end latency of a successful call into the
+// matching per-op histogram and emits the ClientRecv trace record.
+func (c *Client) complete(cl *call) {
+	d := float64(time.Since(cl.start))
+	switch cl.op {
+	case netproto.OpGet:
+		c.Metrics.GetLatency.Observe(d)
+	case netproto.OpPut:
+		c.Metrics.PutLatency.Observe(d)
+	case netproto.OpDelete:
+		c.Metrics.DeleteLatency.Observe(d)
+	}
+	c.trace.Load().Record(qtrace.ClientRecv, cl.op, cl.seq, cl.key, false, false)
+}
+
+// SetTrace installs (or, with nil, removes) the query-trace tap. Safe to
+// call concurrently with traffic.
+func (c *Client) SetTrace(t *qtrace.Tap) { c.trace.Store(t) }
 
 // roundTrip sends the query and awaits the matching reply, retransmitting
 // per the configured policy.
@@ -414,6 +457,7 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 			c.Metrics.Sent.Inc()
 			if attempt > 0 {
 				c.Metrics.Retransmit.Inc()
+				c.trace.Load().Record(qtrace.ClientRetransmit, cl.op, cl.seq, cl.key, true, false)
 			}
 			c.send(cl.frame)
 		}
@@ -422,6 +466,7 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 		select {
 		case reply := <-ch:
 			sample(attempt, start)
+			c.complete(cl)
 			return reply, nil
 		default:
 		}
@@ -439,17 +484,20 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 			if hd := est.HedgeDelay(); hd > 0 && hd < wait {
 				if reply, ok := c.waitReply(ch, hd); ok {
 					sample(attempt, start)
+					c.complete(cl)
 					return reply, nil
 				}
 				hedged = true
 				c.Metrics.Sent.Inc()
 				c.Metrics.Hedges.Inc()
+				c.trace.Load().Record(qtrace.ClientHedge, cl.op, cl.seq, cl.key, false, true)
 				c.send(cl.frame)
 				wait -= hd
 			}
 		}
 		if reply, ok := c.waitReply(ch, wait); ok {
 			sample(attempt, start)
+			c.complete(cl)
 			return reply, nil
 		}
 		if adaptive {
@@ -457,6 +505,7 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 		}
 		if attempt >= c.cfg.Retries {
 			c.Metrics.Timeouts.Inc()
+			c.trace.Load().Record(qtrace.ClientTimeout, cl.op, cl.seq, cl.key, false, false)
 			return netproto.Packet{}, ErrTimeout
 		}
 		// Re-register: Receive may have raced the delete.

@@ -461,3 +461,36 @@ func TestFixedRTOIgnoresEstimator(t *testing.T) {
 		t.Errorf("fixed-RTO loss recovery took %v, want >= the 20ms timeout", elapsed)
 	}
 }
+
+// Regression for the Quantile upper-edge bug: with a tight latency
+// distribution, the histogram's p99 overshot the true p99 by a full
+// bucket-growth factor (~5%), landing above the converged RTO — so
+// HedgeDelay returned 0 and hedging silently disabled itself exactly when
+// the estimator was most confident. The fixed quantile never exceeds the
+// observed max, so the hedge delay stays strictly below the RTO.
+func TestHedgeDelayDoesNotOvershootP99(t *testing.T) {
+	p := Policy{
+		RTOFloor:   time.Microsecond,
+		RTOCeil:    time.Second,
+		BackoffMax: 6,
+		Hedge:      true,
+	}.normalize(10 * time.Millisecond)
+	e := newEstimator(10*time.Millisecond, p)
+
+	// A perfectly stable 500µs RTT: rttvar decays to ~0, so the RTO
+	// converges to barely above 500µs. Every observed latency is exactly
+	// 500µs, so the true p99 is 500µs.
+	const rtt = 500 * time.Microsecond
+	for i := 0; i < 2*hedgeMinSamples; i++ {
+		e.Observe(rtt)
+	}
+
+	hd := e.HedgeDelay()
+	if hd <= 0 {
+		t.Fatalf("HedgeDelay = %v, want > 0: the p99 estimate overshot the RTO "+
+			"and disabled hedging (upper-edge quantile bug)", hd)
+	}
+	if hd > rtt {
+		t.Fatalf("HedgeDelay = %v exceeds the true p99 %v", hd, rtt)
+	}
+}

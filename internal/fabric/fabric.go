@@ -28,8 +28,10 @@ import (
 	"netcache/internal/client"
 	"netcache/internal/controller"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/server"
 	"netcache/internal/simnet"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
 )
 
@@ -198,6 +200,45 @@ func (n *Node) Tick() {
 	n.Switch.SyncDigests()
 	if n.Controller != nil {
 		n.Controller.Tick()
+	}
+}
+
+// RegisterStats registers the node's metric sources in reg, named under
+// prefix ("" for a single-node topology): "<prefix>switch" (cumulative
+// pipeline counters), "<prefix>net" (simnet delivery and fault-injection
+// counters), "<prefix>server<port>" per attached server, and
+// "<prefix>controller" when one is installed. Sources resolve lazily at
+// each Snapshot, so a controller replaced by RestartController is followed
+// automatically; servers are registered at attach time and survive
+// crash/restart because the process object is reused.
+func (n *Node) RegisterStats(reg *stats.Registry, prefix string) {
+	if prefix != "" {
+		prefix += "."
+	}
+	reg.Register(prefix+"switch", func() any {
+		c := n.Switch.Pipeline().Stats()
+		return &c
+	})
+	reg.Register(prefix+"net", func() any { return n.Net })
+	for port, srv := range n.servers {
+		srv := srv
+		reg.Register(fmt.Sprintf("%sserver%d", prefix, port), func() any { return &srv.Metrics })
+	}
+	reg.Register(prefix+"controller", func() any {
+		if n.Controller == nil {
+			return nil
+		}
+		return &n.Controller.Metrics
+	})
+}
+
+// SetTrace installs query-trace taps on the node's switch and every
+// attached server, labeled by node name and server port. A nil ring
+// removes them.
+func (n *Node) SetTrace(ring *qtrace.Ring) {
+	n.Switch.SetTrace(ring.Tap(n.Name))
+	for port, srv := range n.servers {
+		srv.SetTrace(ring.Tap(fmt.Sprintf("%s/server%d", n.Name, port)))
 	}
 }
 

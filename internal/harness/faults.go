@@ -1,14 +1,18 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
 	"netcache/internal/client"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/rack"
 	"netcache/internal/simnet"
+	"netcache/internal/stats"
 	"netcache/internal/workload"
 )
 
@@ -44,6 +48,17 @@ var ChaosPolicy = client.Policy{Seed: 1}
 // Overridden by the netcache-bench -window flag.
 var ChaosWindow = 32
 
+// StatsEvery, when nonzero, makes chaosbench dump a full rack observability
+// snapshot (every component counter + client latency histograms) as one
+// JSON line to stderr on this period while a row runs. Overridden by the
+// netcache-bench -stats-every flag.
+var StatsEvery time.Duration
+
+// ChaosTrace, when nonzero, enables query tracing during chaosbench rows
+// with a ring of this many records; the tail of the ring is dumped to
+// stderr after each row. Overridden by the netcache-bench -trace flag.
+var ChaosTrace int
+
 // ChaosBench measures what fault injection costs the packet-level rack in
 // throughput terms: the same Zipf read/write workload is driven through a
 // clean fabric and through one injecting the configured fault mix, with
@@ -58,12 +73,13 @@ func ChaosBench(quick bool) (*Table, error) {
 	}
 	t := &Table{
 		ID: "chaosbench", Title: "packet-level rack throughput under fault injection (4 servers, 2 clients, zipf-0.95 reads, 10% writes)",
-		Columns: []string{"adaptive", "window", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct"},
+		Columns: []string{"adaptive", "window", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct", "p50_us", "p99_us", "max_us"},
 		Notes: []string{
 			"rates are per-frame fault probabilities on server downlinks and client uplinks;",
 			"adaptive=0 waits a fixed 2ms per attempt, adaptive=1 uses the RTT-estimated RTO with backoff;",
 			"window>1 pipelines reads through GetBatch with that many outstanding (writes flush the window);",
-			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op",
+			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op;",
+			"p50/p99/max_us: end-to-end successful GET latency merged across clients, microseconds",
 		},
 	}
 	fixed := ChaosPolicy
@@ -80,7 +96,7 @@ func ChaosBench(quick bool) (*Table, error) {
 		{ChaosParams, ChaosPolicy, ChaosWindow},
 	}
 	for _, row := range rows {
-		kops, timeoutPct, retxPct, reboots, err := runChaosBench(row.p, ops, row.policy, row.window)
+		res, err := runChaosBench(row.p, ops, row.policy, row.window)
 		if err != nil {
 			return nil, err
 		}
@@ -89,12 +105,20 @@ func ChaosBench(quick bool) (*Table, error) {
 			adaptive = 0
 		}
 		t.Add(adaptive, float64(row.window), row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
-			float64(reboots), kops, timeoutPct, retxPct)
+			float64(res.reboots), res.kops, res.timeoutPct, res.retxPct,
+			res.p50us, res.p99us, res.maxus)
 	}
 	return t, nil
 }
 
-func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int) (kops, timeoutPct, retxPct float64, reboots int, err error) {
+// chaosResult is one chaosbench row's measurements.
+type chaosResult struct {
+	kops, timeoutPct, retxPct float64
+	p50us, p99us, maxus       float64
+	reboots                   int
+}
+
+func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int) (res chaosResult, err error) {
 	const (
 		servers = 4
 		clients = 2
@@ -110,7 +134,7 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 		ClientPolicy: policy, ClientWindow: window,
 	})
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return res, err
 	}
 	r.LoadDataset(nKeys, 64)
 	hot := make([]netproto.Key, cached)
@@ -118,7 +142,16 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 		hot[i] = workload.KeyName(i)
 	}
 	if err := r.PrePopulate(hot); err != nil {
-		return 0, 0, 0, 0, err
+		return res, err
+	}
+
+	var ring *qtrace.Ring
+	if ChaosTrace > 0 {
+		ring = r.EnableTrace(ChaosTrace)
+	}
+	if StatsEvery > 0 {
+		stop := dumpSnapshots(r, StatsEvery)
+		defer stop()
 	}
 
 	if p.faulty() {
@@ -136,7 +169,7 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 
 	zipf, err := workload.NewZipf(nKeys, 0.95)
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return res, err
 	}
 	pop := workload.NewPopularity(nKeys)
 
@@ -195,24 +228,78 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 		wg.Wait()
 		if p.RebootEvery > 0 && done+n < totalOps {
 			if err := r.RebootSwitch(); err != nil {
-				return 0, 0, 0, 0, fmt.Errorf("harness: chaosbench reboot: %w", err)
+				return res, fmt.Errorf("harness: chaosbench reboot: %w", err)
 			}
-			reboots++
+			res.reboots++
 			r.Tick()
 		}
 	}
 	elapsed := time.Since(start).Seconds()
 
 	var sent, retx, timeouts, hedges uint64
+	merged := stats.NewLatencyHistogram()
 	for _, cl := range r.Clients {
 		sent += cl.Metrics.Sent.Value()
 		retx += cl.Metrics.Retransmit.Value()
 		timeouts += cl.Metrics.Timeouts.Value()
 		hedges += cl.Metrics.Hedges.Value()
+		merged.AddFrom(cl.Metrics.GetLatency)
 	}
 	opsDone := float64(sent - retx - hedges) // first attempts == ops issued
-	kops = opsDone / elapsed / 1e3
-	timeoutPct = 100 * float64(timeouts) / opsDone
-	retxPct = 100 * float64(retx) / opsDone
-	return kops, timeoutPct, retxPct, reboots, nil
+	res.kops = opsDone / elapsed / 1e3
+	res.timeoutPct = 100 * float64(timeouts) / opsDone
+	res.retxPct = 100 * float64(retx) / opsDone
+	res.p50us = merged.Quantile(0.5) / 1e3
+	res.p99us = merged.Quantile(0.99) / 1e3
+	res.maxus = merged.Max() / 1e3
+
+	if ring != nil {
+		dumpTraceTail(ring, 20)
+	}
+	return res, nil
+}
+
+// dumpSnapshots starts a goroutine emitting one JSON rack snapshot per
+// period to stderr ("SNAPSHOT <json>" lines, greppable out of bench
+// output). The returned stop function halts it and emits one final
+// snapshot, so even a run shorter than the period yields one.
+func dumpSnapshots(r *rack.Rack, period time.Duration) (stop func()) {
+	emit := func() {
+		if b, err := json.Marshal(r.Snapshot()); err == nil {
+			fmt.Fprintf(os.Stderr, "SNAPSHOT %s\n", b)
+		}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		emit()
+	}
+}
+
+// dumpTraceTail prints the newest n records of the trace ring to stderr.
+func dumpTraceTail(ring *qtrace.Ring, n int) {
+	recs := ring.Records()
+	if len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	fmt.Fprintf(os.Stderr, "TRACE tail (%d of %d recorded):\n", len(recs), ring.Total())
+	for _, rec := range recs {
+		fmt.Fprintf(os.Stderr, "  %s\n", rec)
+	}
 }

@@ -39,14 +39,17 @@ package leafspine
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"netcache/internal/client"
 	"netcache/internal/controller"
 	"netcache/internal/fabric"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/server"
 	"netcache/internal/simnet"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
 	"netcache/internal/workload"
 )
@@ -105,6 +108,7 @@ type Fabric struct {
 
 	serverByAddr map[netproto.Addr]*server.Server
 	rackOfAddr   map[netproto.Addr]int
+	registry     *stats.Registry
 }
 
 // Server addresses are dense across racks: rack r, server s has address
@@ -279,7 +283,71 @@ func New(cfg Config) (*Fabric, error) {
 	}); err != nil {
 		return nil, err
 	}
+
+	f.registry = stats.NewRegistry()
+	f.spine.RegisterStats(f.registry, "spine")
+	for r, tor := range f.tors {
+		tor.RegisterStats(f.registry, fmt.Sprintf("tor%d", r))
+	}
+	for i, cl := range f.clients {
+		m := &cl.Metrics
+		f.registry.Register(fmt.Sprintf("client%d", i), func() any { return m })
+	}
 	return f, nil
+}
+
+// Snapshot collects every component counter and client latency histogram
+// across both tiers into one named view: "spine.switch.*", "spine.net.*",
+// "spine.controller.*", "tor<r>.switch.*", "tor<r>.server<s>.*",
+// "tor<r>.controller.*", and "client<i>.*" including per-op latency
+// histograms. Safe to call during traffic.
+func (f *Fabric) Snapshot() stats.Snapshot { return f.registry.Snapshot() }
+
+// SpineSnapshot returns just the spine tier's slice of the fabric snapshot.
+func (f *Fabric) SpineSnapshot() stats.Snapshot { return f.tierSnapshot("spine.") }
+
+// TorSnapshot returns just rack r's ToR-tier slice of the fabric snapshot.
+func (f *Fabric) TorSnapshot(r int) stats.Snapshot {
+	return f.tierSnapshot(fmt.Sprintf("tor%d.", r))
+}
+
+func (f *Fabric) tierSnapshot(prefix string) stats.Snapshot {
+	full := f.registry.Snapshot()
+	out := stats.Snapshot{
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]stats.HistStat),
+	}
+	for k, v := range full.Counters {
+		if strings.HasPrefix(k, prefix) {
+			out.Counters[k[len(prefix):]] = v
+		}
+	}
+	for k, v := range full.Histograms {
+		if strings.HasPrefix(k, prefix) {
+			out.Histograms[k[len(prefix):]] = v
+		}
+	}
+	return out
+}
+
+// EnableTrace turns on query tracing into a fresh bounded ring, tapping the
+// spine, every ToR, every server and every client. Returns the ring.
+func (f *Fabric) EnableTrace(capacity int) *qtrace.Ring {
+	ring := qtrace.NewRing(capacity)
+	f.SetTraceRing(ring)
+	return ring
+}
+
+// SetTraceRing installs (or, with nil, removes) the query-trace ring on
+// every component across both tiers.
+func (f *Fabric) SetTraceRing(ring *qtrace.Ring) {
+	f.spine.SetTrace(ring)
+	for _, tor := range f.tors {
+		tor.SetTrace(ring)
+	}
+	for i, cl := range f.clients {
+		cl.SetTrace(ring.Tap(fmt.Sprintf("client%d", i)))
+	}
 }
 
 // Client returns client i's handle.

@@ -21,8 +21,10 @@ import (
 	"netcache/internal/controller"
 	"netcache/internal/fabric"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/server"
 	"netcache/internal/simnet"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
 	"netcache/internal/workload"
 )
@@ -102,6 +104,7 @@ type Rack struct {
 	Partition client.Partitioner
 
 	serverPorts map[netproto.Addr]int
+	registry    *stats.Registry
 }
 
 // New builds and wires a rack.
@@ -199,7 +202,39 @@ func New(cfg Config) (*Rack, error) {
 		return nil, err
 	}
 	r.Controller = node.Controller
+
+	r.registry = stats.NewRegistry()
+	node.RegisterStats(r.registry, "")
+	for i, cl := range r.Clients {
+		m := &cl.Metrics
+		r.registry.Register(fmt.Sprintf("client%d", i), func() any { return m })
+	}
 	return r, nil
+}
+
+// Snapshot collects every component counter and client latency histogram
+// into one named view: "switch.*" (pipeline counters), "net.*" (simnet
+// delivery and fault counters), "server<i>.*", "controller.*", and
+// "client<i>.*" including the per-op latency histograms. Safe to call
+// during traffic.
+func (r *Rack) Snapshot() stats.Snapshot { return r.registry.Snapshot() }
+
+// EnableTrace turns on query tracing into a fresh bounded ring (capacity
+// records, oldest overwritten) and taps the switch, the servers and the
+// clients. Call with traffic quiesced. Returns the ring for inspection.
+func (r *Rack) EnableTrace(capacity int) *qtrace.Ring {
+	ring := qtrace.NewRing(capacity)
+	r.SetTraceRing(ring)
+	return ring
+}
+
+// SetTraceRing installs (or, with nil, removes) the query-trace ring on
+// every component.
+func (r *Rack) SetTraceRing(ring *qtrace.Ring) {
+	r.node.SetTrace(ring)
+	for i, cl := range r.Clients {
+		cl.SetTrace(ring.Tap(fmt.Sprintf("client%d", i)))
+	}
 }
 
 // Client returns client i's library handle.

@@ -18,11 +18,13 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"netcache/internal/bufpool"
 	"netcache/internal/kvstore"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/stats"
 )
 
@@ -119,9 +121,17 @@ type Server struct {
 	ctlSeen  map[uint64]bool
 	ctlOrder []uint64
 
+	// trace, when set, receives per-query hop records. Kept in an atomic
+	// pointer so the disabled path is one load and a nil branch.
+	trace atomic.Pointer[qtrace.Tap]
+
 	// Metrics is exported for harnesses and tests.
 	Metrics Metrics
 }
+
+// SetTrace installs (or, with nil, removes) the query-trace tap. Safe to
+// call concurrently with traffic.
+func (s *Server) SetTrace(t *qtrace.Tap) { s.trace.Store(t) }
 
 // writeStamp identifies the last applied write of one key.
 type writeStamp struct {
@@ -324,6 +334,7 @@ func (s *Server) ctlDedup(seq uint64) bool {
 
 func (s *Server) handleGet(src netproto.Addr, pkt netproto.Packet) {
 	s.Metrics.Gets.Inc()
+	s.trace.Load().Record(qtrace.ServerGet, pkt.Op, pkt.Seq, pkt.Key, false, false)
 	value, _, ok := s.store.Get(pkt.Key)
 	reply := netproto.Reply(&pkt, value, ok)
 	s.reply(src, reply)
@@ -331,6 +342,7 @@ func (s *Server) handleGet(src netproto.Addr, pkt netproto.Packet) {
 
 // handleWrite applies a write or queues it if the key is blocked.
 func (s *Server) handleWrite(src netproto.Addr, pkt netproto.Packet) {
+	s.trace.Load().Record(qtrace.ServerWrite, pkt.Op, pkt.Seq, pkt.Key, false, false)
 	s.mu.Lock()
 	st := s.keys[pkt.Key]
 	if st != nil && (st.blocks > 0 || st.pending != nil || st.repl != nil) {

@@ -1,0 +1,194 @@
+package stats
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// HistStat is the JSON-serializable summary of one Histogram at snapshot
+// time. Values carry the histogram's native unit (nanoseconds for latency
+// histograms built with NewLatencyHistogram).
+type HistStat struct {
+	Count    uint64  `json:"count"`
+	Rejected uint64  `json:"rejected,omitempty"`
+	Mean     float64 `json:"mean"`
+	P50      float64 `json:"p50"`
+	P99      float64 `json:"p99"`
+	Max      float64 `json:"max"`
+}
+
+// Snapshot is one consistent-enough view of every registered metric source:
+// flat dotted names to counter values and histogram summaries. Counters are
+// read individually (each is atomic) so a snapshot taken during traffic is
+// per-counter accurate but not globally instantaneous — the same contract a
+// Prometheus scrape offers.
+type Snapshot struct {
+	Counters   map[string]uint64   `json:"counters"`
+	Histograms map[string]HistStat `json:"histograms,omitempty"`
+}
+
+// Keys returns the counter names in sorted order (stable iteration for
+// tests and text dumps).
+func (s Snapshot) Keys() []string {
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// HistKeys returns the histogram names in sorted order.
+func (s Snapshot) HistKeys() []string {
+	keys := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type source struct {
+	name string
+	get  func() any
+}
+
+// Registry aggregates metric sources into named snapshots. Components
+// register a lazy getter (not a captured pointer) so sources whose identity
+// changes over time — a controller rebuilt by RestartController, a server
+// replaced after a crash — are re-resolved at every Snapshot call.
+type Registry struct {
+	mu      sync.Mutex
+	sources []source
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a named metric source. get is invoked at each Snapshot and
+// may return:
+//   - a pointer to a struct: exported fields are walked recursively
+//     (Counter, *Histogram, uint64/int kinds, []uint64, nested structs);
+//   - *Counter or *Histogram directly;
+//   - nil, to skip the source this round (e.g. a component that is down).
+//
+// Field names are flattened to snake_case and joined with dots under name.
+func (r *Registry) Register(name string, get func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, source{name: name, get: get})
+}
+
+// Snapshot resolves every source and collects its metrics.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	srcs := append([]source(nil), r.sources...)
+	r.mu.Unlock()
+	snap := Snapshot{
+		Counters:   make(map[string]uint64),
+		Histograms: make(map[string]HistStat),
+	}
+	for _, s := range srcs {
+		v := s.get()
+		if v == nil {
+			continue
+		}
+		collect(&snap, s.name, reflect.ValueOf(v))
+	}
+	return snap
+}
+
+var (
+	counterType   = reflect.TypeOf(Counter{})
+	histogramType = reflect.TypeOf(Histogram{})
+)
+
+// collect walks v and records every metric it finds under the given prefix.
+func collect(snap *Snapshot, name string, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if v.IsNil() {
+			return
+		}
+		if v.Kind() == reflect.Pointer {
+			switch v.Type().Elem() {
+			case counterType:
+				snap.Counters[name] = v.Interface().(*Counter).Value()
+				return
+			case histogramType:
+				snap.Histograms[name] = summarize(v.Interface().(*Histogram))
+				return
+			}
+		}
+		collect(snap, name, v.Elem())
+	case reflect.Struct:
+		if v.Type() == counterType {
+			// A Counter reached by value (unaddressable copy) would race
+			// with writers; metric sources must hand out pointers. Walk via
+			// Addr when possible, else read the copied atomic once.
+			if v.CanAddr() {
+				snap.Counters[name] = v.Addr().Interface().(*Counter).Value()
+			}
+			return
+		}
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			collect(snap, name+"."+snakeCase(f.Name), v.Field(i))
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		snap.Counters[name] = v.Uint()
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if n := v.Int(); n >= 0 {
+			snap.Counters[name] = uint64(n)
+		}
+	case reflect.Slice, reflect.Array:
+		// Per-index expansion for small counter vectors (e.g. per-pipe
+		// egress counts). Non-numeric element types are skipped above by
+		// the recursive kind switch.
+		for i := 0; i < v.Len(); i++ {
+			collect(snap, fmt.Sprintf("%s.%d", name, i), v.Index(i))
+		}
+	}
+}
+
+func summarize(h *Histogram) HistStat {
+	return HistStat{
+		Count:    h.Count(),
+		Rejected: h.Rejected(),
+		Mean:     h.Mean(),
+		P50:      h.Quantile(0.5),
+		P99:      h.Quantile(0.99),
+		Max:      h.Max(),
+	}
+}
+
+// snakeCase converts an exported Go identifier to snake_case:
+// "RxPackets" → "rx_packets", "RTTSamples" → "rtt_samples".
+func snakeCase(s string) string {
+	var b strings.Builder
+	runes := []rune(s)
+	for i, r := range runes {
+		if r >= 'A' && r <= 'Z' {
+			// New word at a lower→upper boundary, or at the last upper of
+			// an acronym run followed by a lower ("RTTSamples" → rtt_samples).
+			if i > 0 && (isLower(runes[i-1]) ||
+				(i+1 < len(runes) && isUpper(runes[i-1]) && isLower(runes[i+1]))) {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func isLower(r rune) bool { return r >= 'a' && r <= 'z' }
+func isUpper(r rune) bool { return r >= 'A' && r <= 'Z' }

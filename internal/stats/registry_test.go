@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+type fakeMetrics struct {
+	Sent       Counter
+	Retransmit Counter
+	RTTSamples Counter
+	GetLatency *Histogram
+
+	hidden Counter // unexported: must be skipped
+}
+
+type fakeCounters struct {
+	RxPackets    uint64
+	TxPackets    uint64
+	ByEgressPipe []uint64
+	Depth        int
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	m := &fakeMetrics{GetLatency: NewLatencyHistogram()}
+	m.Sent.Add(10)
+	m.Retransmit.Add(2)
+	m.RTTSamples.Add(8)
+	m.GetLatency.Observe(1000)
+	m.GetLatency.Observe(3000)
+	m.hidden.Add(99)
+
+	c := fakeCounters{RxPackets: 7, TxPackets: 6, ByEgressPipe: []uint64{1, 2, 3}, Depth: 4}
+
+	reg := NewRegistry()
+	reg.Register("client0", func() any { return m })
+	reg.Register("switch", func() any { return &c })
+	reg.Register("gone", func() any { return nil }) // down component → skipped
+
+	snap := reg.Snapshot()
+
+	wantCounters := map[string]uint64{
+		"client0.sent":            10,
+		"client0.retransmit":      2,
+		"client0.rtt_samples":     8,
+		"switch.rx_packets":       7,
+		"switch.tx_packets":       6,
+		"switch.by_egress_pipe.0": 1,
+		"switch.by_egress_pipe.1": 2,
+		"switch.by_egress_pipe.2": 3,
+		"switch.depth":            4,
+	}
+	for k, want := range wantCounters {
+		if got, ok := snap.Counters[k]; !ok || got != want {
+			t.Errorf("Counters[%q] = %d (present=%v), want %d", k, got, ok, want)
+		}
+	}
+	if len(snap.Counters) != len(wantCounters) {
+		t.Errorf("got %d counters %v, want %d", len(snap.Counters), snap.Keys(), len(wantCounters))
+	}
+
+	hs, ok := snap.Histograms["client0.get_latency"]
+	if !ok {
+		t.Fatalf("missing histogram, have %v", snap.HistKeys())
+	}
+	if hs.Count != 2 || hs.Mean != 2000 || hs.Max != 3000 {
+		t.Errorf("HistStat = %+v, want count=2 mean=2000 max=3000", hs)
+	}
+	if hs.P99 > hs.Max {
+		t.Errorf("snapshot p99 %f > max %f", hs.P99, hs.Max)
+	}
+}
+
+// A getter re-resolved at each snapshot must observe component replacement
+// (the controller is rebuilt on restart; the registry must follow it).
+func TestRegistryLazyResolution(t *testing.T) {
+	cur := &fakeMetrics{}
+	cur.Sent.Add(1)
+
+	reg := NewRegistry()
+	reg.Register("ctl", func() any { return cur })
+
+	if got := reg.Snapshot().Counters["ctl.sent"]; got != 1 {
+		t.Fatalf("first snapshot sent = %d, want 1", got)
+	}
+	cur = &fakeMetrics{} // component replaced
+	cur.Sent.Add(42)
+	if got := reg.Snapshot().Counters["ctl.sent"]; got != 42 {
+		t.Errorf("post-replacement sent = %d, want 42", got)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	m := &fakeMetrics{GetLatency: NewLatencyHistogram()}
+	m.Sent.Add(3)
+	m.GetLatency.Observe(500)
+
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["c.sent"] != 3 {
+		t.Errorf("round-tripped sent = %d, want 3", back.Counters["c.sent"])
+	}
+	if back.Histograms["c.get_latency"].Count != 1 {
+		t.Errorf("round-tripped hist count = %d, want 1", back.Histograms["c.get_latency"].Count)
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	cases := map[string]string{
+		"Sent":         "sent",
+		"RxPackets":    "rx_packets",
+		"RTTSamples":   "rtt_samples",
+		"KarnSkipped":  "karn_skipped",
+		"ByEgressPipe": "by_egress_pipe",
+		"ID":           "id",
+	}
+	for in, want := range cases {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

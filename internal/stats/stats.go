@@ -30,6 +30,11 @@ func (c *Counter) Value() uint64 { return c.n.Load() }
 // with the default layout. Safe for concurrent use. The zero value is not
 // ready; construct with NewHistogram.
 type Histogram struct {
+	// rejected counts Observe calls dropped because the value was not a
+	// positive finite number. Outside the mutex: rejection must not pay
+	// for a lock, and the counter is already atomic.
+	rejected Counter
+
 	mu      sync.Mutex
 	min     float64
 	growth  float64
@@ -55,8 +60,15 @@ func NewLatencyHistogram() *Histogram {
 	return NewHistogram(100, 1.05, 400)
 }
 
-// Observe records one value.
+// Observe records one value. Non-positive values (and NaN) are dropped and
+// counted in Rejected: a latency of zero or less is a measurement bug, and
+// folding a negative v into sum would silently corrupt Mean for every later
+// reader.
 func (h *Histogram) Observe(v float64) {
+	if !(v > 0) { // also catches NaN
+		h.rejected.Inc()
+		return
+	}
 	idx := 0
 	if v > h.min {
 		idx = int(math.Log(v/h.min) / math.Log(h.growth))
@@ -73,6 +85,10 @@ func (h *Histogram) Observe(v float64) {
 	}
 	h.mu.Unlock()
 }
+
+// Rejected returns how many Observe calls were dropped for carrying a
+// non-positive (or NaN) value.
+func (h *Histogram) Rejected() uint64 { return h.rejected.Value() }
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
@@ -99,6 +115,11 @@ func (h *Histogram) Max() float64 {
 }
 
 // Quantile returns the approximate q-quantile (q in [0,1]); 0 when empty.
+// The estimate is the geometric midpoint of the bucket holding the target
+// observation, clamped to Max(): a reported quantile never exceeds the
+// largest value actually observed. (The old upper-edge estimate could
+// overshoot Max() by a full bucket-growth factor — enough to silently
+// disable the client's hedged reads, whose delay must stay below the RTO.)
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -119,8 +140,8 @@ func (h *Histogram) Quantile(q float64) float64 {
 	for i, b := range h.buckets {
 		cum += b
 		if cum > target {
-			// Upper edge of bucket i.
-			return h.min * math.Pow(h.growth, float64(i+1))
+			// Geometric midpoint of bucket i, clamped to the observed max.
+			return math.Min(h.min*math.Pow(h.growth, float64(i)+0.5), h.maxSeen)
 		}
 	}
 	return h.maxSeen
@@ -134,6 +155,38 @@ func (h *Histogram) Reset() {
 		h.buckets[i] = 0
 	}
 	h.count, h.sum, h.maxSeen = 0, 0, 0
+	h.rejected.n.Store(0)
+}
+
+// AddFrom merges another histogram with the same layout into h (used to
+// aggregate per-client latency distributions into one fleet view). The
+// source is snapshotted under its own lock first, so the two locks are
+// never held together. Mismatched layouts merge what overlaps: extra
+// source buckets fold into h's last bucket.
+func (h *Histogram) AddFrom(o *Histogram) {
+	if o == nil || o == h {
+		return
+	}
+	o.mu.Lock()
+	buckets := append([]uint64(nil), o.buckets...)
+	count, sum, maxSeen := o.count, o.sum, o.maxSeen
+	o.mu.Unlock()
+	h.rejected.Add(o.rejected.Value())
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last := len(h.buckets) - 1
+	for i, b := range buckets {
+		if i < last {
+			h.buckets[i] += b
+		} else {
+			h.buckets[last] += b
+		}
+	}
+	h.count += count
+	h.sum += sum
+	if maxSeen > h.maxSeen {
+		h.maxSeen = maxSeen
+	}
 }
 
 // Summary renders count/mean/p50/p99/max, treating values as nanoseconds.

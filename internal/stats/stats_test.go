@@ -175,3 +175,141 @@ func TestGini(t *testing.T) {
 		t.Error("all-zero Gini should be 0")
 	}
 }
+
+// Regression: Quantile used to return a bucket's *upper* edge, so with a
+// single observation Quantile(0.99) could exceed Max() by a full growth
+// factor. A quantile must never exceed the largest observed value.
+func TestQuantileNeverExceedsMax(t *testing.T) {
+	// Single observation: the pathological case that disabled hedged reads.
+	h := NewLatencyHistogram()
+	h.Observe(500_000)
+	if q := h.Quantile(0.99); q > h.Max() {
+		t.Errorf("single obs: p99 = %f > Max = %f", q, h.Max())
+	}
+
+	// Adversarial layouts: values sitting exactly on bucket edges, repeated
+	// identical values, and wide spreads, across several geometries.
+	layouts := []struct {
+		min, growth float64
+		buckets     int
+	}{
+		{100, 1.05, 400}, {1, 2, 30}, {10, 1.5, 50},
+	}
+	for _, l := range layouts {
+		h := NewHistogram(l.min, l.growth, l.buckets)
+		vals := []float64{
+			l.min, l.min * l.growth, l.min * l.growth * l.growth,
+			l.min * 0.5, // below min → bucket 0
+			l.min * math.Pow(l.growth, float64(l.buckets)+3), // beyond span → last bucket
+		}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+			if got := h.Quantile(q); got > h.Max() {
+				t.Errorf("layout %+v: Quantile(%g) = %f > Max = %f", l, q, got, h.Max())
+			}
+		}
+	}
+
+	// Repeated identical values: every quantile is exactly that value.
+	h2 := NewLatencyHistogram()
+	for i := 0; i < 1000; i++ {
+		h2.Observe(777)
+	}
+	if q := h2.Quantile(0.99); q > 777 {
+		t.Errorf("identical values: p99 = %f > 777", q)
+	}
+}
+
+func TestQuantileNeverExceedsMaxQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		h := NewLatencyHistogram()
+		n := 0
+		for _, r := range raw {
+			if r == 0 {
+				continue
+			}
+			h.Observe(float64(r))
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+			if h.Quantile(q) > h.Max() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Regression: Observe used to accept v <= 0 — zeros landed in bucket 0 and
+// negative values corrupted sum/Mean for every later reader.
+func TestObserveRejectsNonPositive(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(1000)
+	h.Observe(2000)
+
+	for _, bad := range []float64{0, -1, -1e9, math.NaN()} {
+		h.Observe(bad)
+	}
+
+	if got := h.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2 (non-positive values must not count)", got)
+	}
+	if got := h.Rejected(); got != 4 {
+		t.Errorf("Rejected = %d, want 4", got)
+	}
+	if m := h.Mean(); m != 1500 {
+		t.Errorf("Mean = %f, want 1500 (sum must not be corrupted)", m)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Errorf("p50 = %f, want > 0 (bucket 0 must not be polluted)", q)
+	}
+
+	h.Reset()
+	if h.Rejected() != 0 {
+		t.Errorf("Rejected = %d after Reset, want 0", h.Rejected())
+	}
+}
+
+func TestHistogramAddFrom(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Observe(float64(i) * 1000)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Observe(float64(i) * 1000)
+	}
+	b.Observe(-5) // rejected, should carry over
+
+	a.AddFrom(b)
+	if got := a.Count(); got != 200 {
+		t.Errorf("merged Count = %d, want 200", got)
+	}
+	if got := a.Max(); got != 200_000 {
+		t.Errorf("merged Max = %f, want 200000", got)
+	}
+	if got := a.Rejected(); got != 1 {
+		t.Errorf("merged Rejected = %d, want 1", got)
+	}
+	if m := a.Mean(); math.Abs(m-100_500) > 1 {
+		t.Errorf("merged Mean = %f, want 100500", m)
+	}
+	if q := a.Quantile(0.5); q < 85_000 || q > 115_000 {
+		t.Errorf("merged p50 = %f, want ~100500", q)
+	}
+
+	// Self- and nil-merge are no-ops.
+	a.AddFrom(a)
+	a.AddFrom(nil)
+	if got := a.Count(); got != 200 {
+		t.Errorf("Count after self/nil merge = %d, want 200", got)
+	}
+}

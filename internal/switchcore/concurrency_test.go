@@ -174,3 +174,75 @@ func TestNoTornValueReads(t *testing.T) {
 	close(stop)
 	writers.Wait()
 }
+
+// The controller's periodic stats cycle (§4.4.3) clears the CMS sketch,
+// Bloom filter, and per-key hit counters while the data plane is updating
+// them from concurrent Process calls. The clear must be tear-free: no
+// panic, no torn register state, no -race report, and the per-key hit
+// counter visible afterwards must stay consistent (bounded by the traffic
+// issued since the last clear). Run under -race (make race / make chaos).
+func TestResetStatsRaceWithProcess(t *testing.T) {
+	r := newRig(t)
+
+	// One cached key (exercises the hit counter path) and a spread of
+	// uncached keys (exercise CMS + Bloom updates on the miss path).
+	cached := netproto.KeyFromString("reset-race-cached")
+	_, kidx := r.install(t, cached, bytes.Repeat([]byte{0xEE}, 16))
+
+	const workers = 4
+	frames := make([][][]byte, workers)
+	for w := range frames {
+		frames[w] = append(frames[w],
+			mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Seq: 1, Key: cached}))
+		for i := 0; i < 7; i++ {
+			k := netproto.KeyFromString(fmt.Sprintf("reset-race-%d-%d", w, i))
+			frames[w] = append(frames[w],
+				mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Seq: 2, Key: k}))
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var processed [workers]uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, f := range frames[w] {
+					if _, err := r.sw.Process(f, clientPort); err != nil {
+						t.Errorf("Process: %v", err)
+						return
+					}
+					processed[w]++
+				}
+			}
+		}(w)
+	}
+
+	for i := 0; i < 300; i++ {
+		r.sw.ResetStats(i%2 == 0) // alternate counter-clearing cycles
+	}
+	close(stop)
+	wg.Wait()
+
+	// Post-quiesce consistency: one more clear then a burst of known size —
+	// the hit counter for the cached key must count exactly that burst.
+	r.sw.ResetStats(true)
+	const burst = 5
+	hitF := mkFrame(t, serverAddr, clientAddr, netproto.Packet{Op: netproto.OpGet, Seq: 9, Key: cached})
+	for i := 0; i < burst; i++ {
+		if _, err := r.sw.Process(hitF, clientPort); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := r.sw.ReadCounters([]int{kidx})
+	if len(cs) != 1 || cs[0].Hits != burst {
+		t.Errorf("hit counter after clear+burst = %+v, want Hits=%d", cs, burst)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"netcache/internal/cachemem"
 	"netcache/internal/dataplane"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	"netcache/internal/sketch"
 )
 
@@ -153,6 +154,11 @@ type Switch struct {
 	// read through the driver. The controller's write policy compares it
 	// against served hits.
 	invalidations atomic.Uint64
+
+	// trace, when set, receives per-query hop records (hit/miss/write
+	// classification). Disabled cost: one atomic load and a nil branch per
+	// processed frame.
+	trace atomic.Pointer[qtrace.Tap]
 
 	// keyMu stripes a readers-writer lock across cache key indexes. It is
 	// the per-key serialization of §4.3 made explicit: a cached GET holds
@@ -878,14 +884,59 @@ func keyFields(key netproto.Key) []uint64 {
 
 // Process runs one frame through the switch data plane.
 func (sw *Switch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error) {
-	return sw.pl.Process(frame, inPort)
+	out, err := sw.pl.Process(frame, inPort)
+	if tap := sw.trace.Load(); tap != nil {
+		sw.traceFrame(tap, frame, out)
+	}
+	return out, err
 }
 
 // ProcessAppend is Process appending emissions to out, reusing the caller's
 // slice across packets. Emitted frames may be pool-backed; see
 // dataplane.ReleaseFrame.
 func (sw *Switch) ProcessAppend(frame []byte, inPort int, out []dataplane.Emitted) ([]dataplane.Emitted, error) {
-	return sw.pl.ProcessAppend(frame, inPort, out)
+	nOld := len(out)
+	out, err := sw.pl.ProcessAppend(frame, inPort, out)
+	if tap := sw.trace.Load(); tap != nil {
+		sw.traceFrame(tap, frame, out[nOld:])
+	}
+	return out, err
+}
+
+// SetTrace installs (or, with nil, removes) the query-trace tap. Safe to
+// call concurrently with traffic.
+func (sw *Switch) SetTrace(t *qtrace.Tap) { sw.trace.Store(t) }
+
+// traceFrame classifies one processed request for the query trace. A GET
+// whose emissions include a reply opcode was answered from the cache
+// (SwitchHit); one forwarded onward as a GET missed (SwitchMiss). Writes
+// record SwitchWrite regardless of whether they invalidated a cached key.
+func (sw *Switch) traceFrame(tap *qtrace.Tap, frame []byte, emitted []dataplane.Emitted) {
+	if len(frame) < frameValueOff ||
+		binary.BigEndian.Uint16(frame[netproto.FrameHeaderSize:]) != netproto.Magic {
+		return
+	}
+	op := netproto.Op(frame[frameOpOff])
+	var stage qtrace.Stage
+	switch op {
+	case netproto.OpGet:
+		stage = qtrace.SwitchMiss
+		for _, e := range emitted {
+			if len(e.Frame) > frameOpOff &&
+				netproto.Op(e.Frame[frameOpOff]) == netproto.OpGetReply {
+				stage = qtrace.SwitchHit
+				break
+			}
+		}
+	case netproto.OpPut, netproto.OpDelete:
+		stage = qtrace.SwitchWrite
+	default:
+		return // replies, control, replication: not query hops at the switch
+	}
+	seq := binary.BigEndian.Uint64(frame[frameSeqOff : frameSeqOff+8])
+	var key netproto.Key
+	copy(key[:], frame[frameKeyOff:frameKeyOff+netproto.KeySize])
+	tap.Record(stage, op, seq, key, false, false)
 }
 
 // Pipeline exposes the underlying pipeline (counters, config).

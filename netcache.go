@@ -41,8 +41,10 @@ import (
 	"netcache/internal/controller"
 	"netcache/internal/harness"
 	"netcache/internal/netproto"
+	"netcache/internal/qtrace"
 	_ "netcache/internal/queuesim" // registers the fig10c-sim latency experiment
 	"netcache/internal/rack"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
 	_ "netcache/internal/topo" // registers the fig10f scalability model
 	"netcache/internal/workload"
@@ -77,6 +79,16 @@ type (
 	// Popularity maps popularity ranks to key IDs and supports the
 	// hot-in/random/hot-out churn mutations.
 	Popularity = workload.Popularity
+	// Snapshot is one observability snapshot: every component counter and
+	// latency-histogram summary under flat dotted names, JSON-serializable.
+	Snapshot = stats.Snapshot
+	// HistStat is a histogram's summary inside a Snapshot
+	// (count/mean/p50/p99/max, nanoseconds for latency histograms).
+	HistStat = stats.HistStat
+	// TraceRing is the bounded query-trace buffer returned by EnableTrace.
+	TraceRing = qtrace.Ring
+	// TraceRecord is one per-query hop observation in a TraceRing.
+	TraceRecord = qtrace.Record
 )
 
 // NewZipf returns a Zipf sampler over [0, n) with skew theta in [0, 1) —
@@ -272,6 +284,22 @@ func (r *Rack) Stats() Stats {
 	}
 	return st
 }
+
+// Snapshot collects every component counter — switch pipeline, simnet
+// fabric, servers, controller, clients — plus the clients' per-op latency
+// histograms (p50/p99/max) into one named, JSON-serializable view. Safe to
+// call during traffic.
+func (r *Rack) Snapshot() Snapshot { return r.r.Snapshot() }
+
+// EnableTrace turns on query tracing into a bounded ring of per-query hop
+// records (client send → switch hit/miss → server → reply, with
+// retransmit/hedge flags). Tracing off — the default — costs one atomic
+// load per packet. Pass the returned ring to inspect; call DisableTrace to
+// turn it back off.
+func (r *Rack) EnableTrace(capacity int) *TraceRing { return r.r.EnableTrace(capacity) }
+
+// DisableTrace removes the query-trace taps installed by EnableTrace.
+func (r *Rack) DisableTrace() { r.r.SetTraceRing(nil) }
 
 // ResourceReport renders the switch program's on-chip resource usage (the
 // artifact behind §6's "<50% of on-chip memory").

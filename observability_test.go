@@ -1,0 +1,173 @@
+package netcache
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// One Snapshot() call on a rack must return every component's counters plus
+// the clients' per-op latency percentiles — the observability acceptance
+// criterion for the single-node topology.
+func TestFacadeSnapshotRack(t *testing.T) {
+	r := newRack(t)
+	r.LoadDataset(50, 32)
+	cli := r.Client(0)
+	hot := KeyName(1)
+	for i := 0; i < 20; i++ {
+		if _, err := cli.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.Put(hot, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Delete(KeyName(2)); err != nil {
+		t.Fatal(err)
+	}
+	r.Tick()
+
+	snap := r.Snapshot()
+
+	// Every component family must be represented.
+	for _, name := range []string{
+		"switch.rx_packets", "switch.tx_packets",
+		"net.delivered",
+		"server0.gets",
+		"controller.inserts",
+		"client0.sent",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("snapshot missing counter %q (have %v)", name, snap.Keys())
+		}
+	}
+	if snap.Counters["client0.sent"] == 0 || snap.Counters["switch.rx_packets"] == 0 {
+		t.Error("traffic counters should be nonzero after queries")
+	}
+
+	// Per-op latency percentiles, with the fixed-quantile invariant.
+	for _, name := range []string{"client0.get_latency", "client0.put_latency", "client0.delete_latency"} {
+		hs, ok := snap.Histograms[name]
+		if !ok {
+			t.Fatalf("snapshot missing histogram %q (have %v)", name, snap.HistKeys())
+		}
+		if hs.Count == 0 || hs.P50 <= 0 || hs.P99 <= 0 || hs.Max <= 0 {
+			t.Errorf("%s = %+v, want populated percentiles", name, hs)
+		}
+		if hs.P99 > hs.Max {
+			t.Errorf("%s: p99 %f exceeds max %f", name, hs.P99, hs.Max)
+		}
+	}
+
+	// The whole view must serialize.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not JSON-serializable: %v", err)
+	}
+}
+
+// The leaf-spine snapshot must cover both tiers from one call, and the
+// per-tier slices must line up with it.
+func TestFacadeSnapshotLeafSpine(t *testing.T) {
+	fb, err := NewLeafSpine(LeafSpineConfig{
+		Racks: 2, ServersPerRack: 2, Clients: 1, SpineCache: 8, TorCache: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb.LoadDataset(40, 32)
+	cli := fb.Client(0)
+	for i := 0; i < 10; i++ {
+		if _, err := cli.Get(KeyName(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := fb.Snapshot()
+	for _, name := range []string{
+		"spine.switch.rx_packets", "spine.net.delivered",
+		"tor0.switch.rx_packets", "tor0.server0.gets",
+		"tor1.switch.rx_packets",
+		"client0.sent",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Errorf("fabric snapshot missing %q", name)
+		}
+	}
+	if hs, ok := snap.Histograms["client0.get_latency"]; !ok || hs.Count == 0 {
+		t.Errorf("fabric snapshot missing client latency: %+v", hs)
+	}
+
+	spine := fb.SpineSnapshot()
+	if spine.Counters["switch.rx_packets"] != snap.Counters["spine.switch.rx_packets"] {
+		t.Error("SpineSnapshot slice disagrees with fabric snapshot")
+	}
+	tor0 := fb.TorSnapshot(0)
+	if tor0.Counters["server0.gets"] != snap.Counters["tor0.server0.gets"] {
+		t.Error("TorSnapshot slice disagrees with fabric snapshot")
+	}
+}
+
+// A traced GET must leave a coherent hop chain in the ring: client send,
+// a switch classification (hit or miss), a server stage for misses, and
+// the client receive. Disabling must stop recording.
+func TestFacadeQueryTrace(t *testing.T) {
+	r := newRack(t)
+	r.LoadDataset(10, 32)
+	ring := r.EnableTrace(128)
+
+	cli := r.Client(0)
+	key := KeyName(0)
+	if _, err := cli.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Put(key, []byte("traced")); err != nil {
+		t.Fatal(err)
+	}
+
+	stages := map[string]bool{}
+	for _, rec := range ring.Records() {
+		stages[rec.Stage.String()] = true
+	}
+	for _, want := range []string{"client_send", "switch_miss", "server_get", "client_recv", "switch_write", "server_write"} {
+		if !stages[want] {
+			t.Errorf("trace missing stage %q (have %v)", want, stages)
+		}
+	}
+
+	r.DisableTrace()
+	before := ring.Total()
+	if _, err := cli.Get(key); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Total() != before {
+		t.Error("trace still recording after DisableTrace")
+	}
+
+	// A cache hit must classify as switch_hit with no server hop.
+	r.Tick() // not sufficient alone; install via controller path
+	hot := KeyName(3)
+	for i := 0; i < 20; i++ {
+		if _, err := cli.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Tick()
+	if !r.Cached(hot) {
+		t.Fatal("hot key not cached")
+	}
+	ring2 := r.EnableTrace(64)
+	if _, err := cli.Get(hot); err != nil {
+		t.Fatal(err)
+	}
+	sawHit := false
+	for _, rec := range ring2.Records() {
+		if rec.Stage.String() == "switch_hit" {
+			sawHit = true
+		}
+		if rec.Stage.String() == "server_get" {
+			t.Error("cache-hit GET should not reach a server")
+		}
+	}
+	if !sawHit {
+		t.Error("cached GET not classified as switch_hit")
+	}
+}
