@@ -3,13 +3,16 @@
 
 GO ?= go
 
-.PHONY: all test race bench bench-json chaos failover experiments examples fuzz profile vet lint clean
+.PHONY: all test race bench bench-json bench-compare chaos failover experiments examples fuzz profile vet lint clean
 
 all: test
 
 # The default test target vets and lints first, then includes the race
 # detector: the data plane is concurrent end to end, so a non-race run alone
-# proves little.
+# proves little. Performance claims are guarded separately: run
+# `make bench-compare` before committing changes on the packet path — it
+# reruns the pipeline benchmark suite and fails on a >10% geomean
+# regression against the committed BENCH_pipeline.json baseline.
 test: vet lint race
 	$(GO) test ./...
 
@@ -32,11 +35,19 @@ bench:
 
 # The packet-path benchmark suite as machine-readable JSON (ns/op, B/op,
 # allocs/op, derived kops/s per benchmark) — the regression record behind
-# EXPERIMENTS.md's "Zero-allocation batched packet path" section.
+# EXPERIMENTS.md's "Zero-allocation batched packet path" section. The
+# per-package runs below keep the set free of name collisions (several
+# packages define same-named end-to-end benches).
+PIPELINE_BENCH = BenchmarkPipelineSequential|BenchmarkPipelineParallel|BenchmarkEndToEndCachedGet|BenchmarkEndToEndServerGet|BenchmarkRackParallelGet|BenchmarkRackPipelinedGet
+
+define run_pipeline_benches
+	{ $(GO) test -run xxx -benchmem -bench '$(PIPELINE_BENCH)' . && \
+	  $(GO) test -run xxx -benchmem -bench 'BenchmarkFastPathCachedGet' ./internal/switchcore && \
+	  $(GO) test -run xxx -benchmem -bench 'BenchmarkSeqlockGetParallel' ./internal/kvstore; }
+endef
+
 bench-json:
-	$(GO) test -run xxx -benchmem \
-		-bench 'BenchmarkPipelineSequential|BenchmarkPipelineParallel|BenchmarkEndToEndCachedGet|BenchmarkEndToEndServerGet|BenchmarkRackParallelGet|BenchmarkRackPipelinedGet' \
-		. | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
+	$(call run_pipeline_benches) | $(GO) run ./cmd/benchjson > BENCH_pipeline.json
 	@cat BENCH_pipeline.json
 	$(GO) test -run xxx -benchmem \
 		-bench 'BenchmarkMultiRack' \
@@ -50,6 +61,14 @@ bench-json:
 		-bench 'BenchmarkObs' \
 		. | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@cat BENCH_obs.json
+
+# Rerun the pipeline benchmark suite and compare against the committed
+# BENCH_pipeline.json baseline: per-benchmark deltas, then a geometric-mean
+# verdict. Exits non-zero when the geomean ns/op regression exceeds 10%
+# (tune with `-tolerance`). Stdlib only — benchstat is deliberately not
+# required.
+bench-compare:
+	$(call run_pipeline_benches) | $(GO) run ./cmd/benchcompare -baseline BENCH_pipeline.json
 
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:

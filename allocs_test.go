@@ -18,10 +18,66 @@ import (
 
 	"netcache/internal/bufpool"
 	"netcache/internal/dataplane"
+	"netcache/internal/kvstore"
 	"netcache/internal/netproto"
 	"netcache/internal/rack"
 	"netcache/internal/workload"
 )
+
+// TestAllocsGetAppend: the seqlock read path of both storage engines. An
+// optimistic GetAppend into a buffer with capacity is pure probe + append —
+// exactly zero allocations, no slack: a single alloc/op here means the
+// engine fell back to copying (or the caller's buffer escaped), which is
+// the regression this test exists to catch.
+func TestAllocsGetAppend(t *testing.T) {
+	for _, name := range []string{"chained", "cuckoo"} {
+		t.Run(name, func(t *testing.T) {
+			s := kvstore.NewEngine(name, 4)
+			key := netproto.KeyFromString("user:1")
+			s.Put(key, workload.ValueFor(1, 128))
+			dst := make([]byte, 0, netproto.MaxValueSize)
+			allocs := testing.AllocsPerRun(1000, func() {
+				v, _, ok := s.GetAppend(key, dst[:0])
+				if !ok || len(v) != 128 {
+					t.Fatalf("GetAppend = %d bytes, %v", len(v), ok)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("GetAppend allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestAllocsServerReplySegment: the store+reply segment of the server's
+// handleGet — open the reply headers in a pooled frame, append the value
+// straight from the store, seal. This is the whole per-Get work of a
+// storage server past packet decode, and it must not allocate.
+func TestAllocsServerReplySegment(t *testing.T) {
+	for _, name := range []string{"chained", "cuckoo"} {
+		t.Run(name, func(t *testing.T) {
+			s := kvstore.NewEngine(name, 4)
+			key := netproto.KeyFromString("user:1")
+			s.Put(key, workload.ValueFor(1, 128))
+			frame := bufpool.Get()
+			defer bufpool.Put(frame)
+			allocs := testing.AllocsPerRun(1000, func() {
+				frame = netproto.ReplyInto(frame[:0], 0x8001, 1, netproto.OpGetReply, 7, key)
+				var ok bool
+				frame, _, ok = s.GetAppend(key, frame)
+				if !ok {
+					t.Fatal("miss")
+				}
+				if err := netproto.SealReply(frame); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("store+reply segment allocates %.1f/op, want 0", allocs)
+			}
+		})
+	}
+}
 
 // TestAllocsEncodeDecode: building a frame into a pooled buffer and decoding
 // it back must not allocate at all — Decode aliases, AppendFramePacket
@@ -87,9 +143,10 @@ func TestAllocsCachedGet(t *testing.T) {
 }
 
 // TestAllocsServerGet: the full end-to-end miss path — client, simnet,
-// switch, storage server, and back. The client's reply channel, the
-// returned value copy, and the server's reply machinery are real per-query
-// allocations, so the bound is above zero: 8/op measured, 12 allowed.
+// switch, storage server, and back. With the reply channel pooled and the
+// fabric's fault passthrough allocation-free, the one real per-query
+// allocation left is the value copy Get hands its caller: 1/op measured,
+// 4 allowed (map growth and pool misses amortize in).
 func TestAllocsServerGet(t *testing.T) {
 	r, err := New(Config{Servers: 4, Clients: 1, CacheCapacity: 64})
 	if err != nil {
@@ -103,7 +160,7 @@ func TestAllocsServerGet(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	if allocs > 12 {
-		t.Errorf("server Get allocates %.1f/op, budget is 12", allocs)
+	if allocs > 4 {
+		t.Errorf("server Get allocates %.1f/op, budget is 4", allocs)
 	}
 }

@@ -1,0 +1,169 @@
+// Command benchcompare guards the packet path against performance
+// regressions without external tooling. It reads fresh `go test -bench
+// -benchmem` output on stdin, matches each benchmark by name against a
+// committed baseline in the benchjson format (BENCH_pipeline.json), prints
+// the per-benchmark ns/op deltas, and exits non-zero when the geometric
+// mean of the new/old ratios exceeds the tolerance:
+//
+//	go test -bench 'Pipeline' -benchmem . | \
+//	    go run ./cmd/benchcompare -baseline BENCH_pipeline.json
+//
+// The geomean — not any single benchmark — is the gate: individual ns/op
+// numbers on a shared CI box jitter by tens of percent, but the mean ratio
+// across the whole suite moves far less, so a >10% geomean shift is a real
+// regression, not noise. Benchmarks present on only one side are reported
+// and excluded from the verdict. Allocation counts are compared strictly:
+// allocs/op are stable run to run, so any benchmark allocating more than
+// its baseline fails the gate regardless of the geomean.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement — the subset of the benchjson record
+// the comparison needs.
+type result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_pipeline.json", "benchjson baseline to compare against")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed geomean ns/op regression (0.10 = +10%)")
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	fresh, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(1)
+	}
+	if len(fresh) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark results on stdin")
+		os.Exit(1)
+	}
+
+	var (
+		logSum     float64
+		compared   int
+		allocFails []string
+	)
+	fmt.Printf("%-44s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, cur := range fresh {
+		old, ok := base[cur.Name]
+		if !ok {
+			fmt.Printf("%-44s %12s %12.1f %8s\n", cur.Name, "-", cur.NsOp, "new")
+			continue
+		}
+		delete(base, cur.Name)
+		ratio := cur.NsOp / old.NsOp
+		logSum += math.Log(ratio)
+		compared++
+		fmt.Printf("%-44s %12.1f %12.1f %+7.1f%%\n", cur.Name, old.NsOp, cur.NsOp, (ratio-1)*100)
+		if cur.AllocsOp > old.AllocsOp {
+			allocFails = append(allocFails,
+				fmt.Sprintf("%s: %.0f allocs/op, baseline %.0f", cur.Name, cur.AllocsOp, old.AllocsOp))
+		}
+	}
+	var missing []string
+	for name := range base {
+		missing = append(missing, name)
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("%-44s %12s %12s %8s\n", name, "-", "-", "missing")
+	}
+
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcompare: no benchmark matched the baseline")
+		os.Exit(1)
+	}
+	geomean := math.Exp(logSum / float64(compared))
+	fmt.Printf("\ngeomean over %d benchmarks: %+.1f%% (tolerance %+.1f%%)\n",
+		compared, (geomean-1)*100, *tolerance*100)
+	failed := false
+	if geomean > 1+*tolerance {
+		fmt.Fprintf(os.Stderr, "benchcompare: geomean regression %+.1f%% exceeds tolerance\n", (geomean-1)*100)
+		failed = true
+	}
+	for _, f := range allocFails {
+		fmt.Fprintf(os.Stderr, "benchcompare: allocation regression: %s\n", f)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("ok: within tolerance, no allocation regressions")
+}
+
+// loadBaseline reads a benchjson file into a name-indexed map.
+func loadBaseline(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(data, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]result, len(rs))
+	for _, r := range rs {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// stripping the -GOMAXPROCS suffix the same way benchjson does so the names
+// line up with the baseline.
+func parseBench(f *os.File) ([]result, error) {
+	var out []result
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{Name: fields[0]}
+		if i := strings.LastIndexByte(r.Name, '-'); i >= 0 {
+			if _, err := strconv.Atoi(r.Name[i+1:]); err == nil {
+				r.Name = r.Name[:i]
+			}
+		}
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsOp, ok = v, true
+			case "allocs/op":
+				r.AllocsOp = v
+			}
+		}
+		if ok && r.NsOp > 0 {
+			out = append(out, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

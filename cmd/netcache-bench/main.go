@@ -48,6 +48,7 @@ func main() {
 	torCache := flag.Int("tor-cache", harness.MultiRackParams.TorCache, "multirack: per-ToR switch cache capacity")
 	statsEvery := flag.Duration("stats-every", 0, "chaosbench: dump a full observability snapshot (JSON, stderr) on this period (0 disables)")
 	trace := flag.Int("trace", 0, "chaosbench: enable query tracing with a ring of this many records; tail dumped to stderr per row (0 disables)")
+	engine := flag.String("engine", "", "storage engine for every packet-level experiment: chained or cuckoo (empty = chained)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	mutexProfile := flag.String("mutexprofile", "", "write a mutex-contention profile to this file on exit")
@@ -63,6 +64,13 @@ func main() {
 	harness.ChaosWindow = *window
 	harness.StatsEvery = *statsEvery
 	harness.ChaosTrace = *trace
+	switch *engine {
+	case "", "chained", "cuckoo":
+	default:
+		fmt.Fprintf(os.Stderr, "netcache-bench: unknown -engine %q (want chained or cuckoo)\n", *engine)
+		os.Exit(2)
+	}
+	harness.StorageEngine = *engine
 	harness.MultiRackParams.Racks = *racks
 	harness.MultiRackParams.ServersPerRack = *serversPerRack
 	harness.MultiRackParams.SpineCache = *spineCache

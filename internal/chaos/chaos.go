@@ -48,6 +48,9 @@ type Config struct {
 	ValueSize int
 	// CacheCapacity caps the switch cache. Default 8.
 	CacheCapacity int
+	// StorageEngine selects the servers' storage engine ("chained" or
+	// "cuckoo"); empty means chained.
+	StorageEngine string
 }
 
 func (c *Config) fill() {

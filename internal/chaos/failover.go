@@ -33,6 +33,9 @@ type FailoverConfig struct {
 	CacheCapacity int
 	// HeartbeatMisses is the detector's death threshold. Default 3.
 	HeartbeatMisses int
+	// StorageEngine selects the servers' storage engine ("chained" or
+	// "cuckoo"); empty means chained.
+	StorageEngine string
 }
 
 func (c *FailoverConfig) fill() {
@@ -193,6 +196,7 @@ func RunFailover(cfg FailoverConfig) (*FailoverReport, error) {
 		Servers:         cfg.Servers,
 		Clients:         cfg.Clients,
 		CacheCapacity:   cfg.CacheCapacity,
+		StorageEngine:   cfg.StorageEngine,
 		Replicate:       true,
 		HeartbeatMisses: cfg.HeartbeatMisses,
 		ClientTimeout:   2 * time.Millisecond,

@@ -38,7 +38,9 @@ type MultiRackConfig struct {
 	// ValueSize is the nominal value size in bytes. Default 24.
 	ValueSize int
 	// SpineCache and TorCache cap the two cache layers. Defaults: 8 and 8.
-	SpineCache, TorCache int
+	SpineCache, TorCache int // StorageEngine selects the servers' storage engine ("chained" or
+	// "cuckoo"); empty means chained.
+	StorageEngine string
 }
 
 func (c *MultiRackConfig) fill() {
@@ -238,6 +240,7 @@ func RunMultiRack(cfg MultiRackConfig) (*Report, error) {
 		ClientTimeout:  2 * time.Millisecond,
 		ClientRetries:  2,
 		ClientPolicy:   client.Policy{Seed: cfg.Seed},
+		StorageEngine:  cfg.StorageEngine,
 	})
 	if err != nil {
 		return nil, err

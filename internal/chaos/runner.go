@@ -175,6 +175,7 @@ func Run(cfg Config) (*Report, error) {
 		Servers:       cfg.Servers,
 		Clients:       cfg.Clients,
 		CacheCapacity: cfg.CacheCapacity,
+		StorageEngine: cfg.StorageEngine,
 		ClientTimeout: 2 * time.Millisecond,
 		ClientRetries: 2,
 		// The clients' retransmission jitter draws from the scenario seed

@@ -192,6 +192,15 @@ func (c *Client) Estimator(dst netproto.Addr) EstimatorState {
 	return e.snapshot()
 }
 
+// replyChans pools the one-slot reply channels of in-flight calls. A
+// channel returns to the pool drained, but a late duplicate reply can race
+// the drain and land in the buffer after release — so every receive from a
+// pooled channel checks the packet's SEQ against the call's and discards
+// strangers (see waitReply and await).
+var replyChans = sync.Pool{
+	New: func() any { return make(chan netproto.Packet, 1) },
+}
+
 // waitReply waits up to wait for a reply on ch. Waits under the policy's
 // SpinUnder threshold poll in a Gosched-yielding loop — a parked timer's
 // wakeup latency (~1ms on stock kernels) would otherwise quantize every
@@ -202,13 +211,18 @@ func (c *Client) Estimator(dst netproto.Addr) EstimatorState {
 // is still in flight, the drain select finds the channel empty, and the
 // stale expiry then lands after Reset, firing the next wait instantly and
 // causing a spurious early retransmit or timeout.
-func (c *Client) waitReply(ch chan netproto.Packet, wait time.Duration) (netproto.Packet, bool) {
+func (c *Client) waitReply(ch chan netproto.Packet, seq uint64, wait time.Duration) (netproto.Packet, bool) {
 	if wait <= 0 {
-		select {
-		case reply := <-ch:
-			return reply, true
-		default:
-			return netproto.Packet{}, false
+		for {
+			select {
+			case reply := <-ch:
+				if reply.Seq != seq {
+					continue // stale reply from the channel's previous call
+				}
+				return reply, true
+			default:
+				return netproto.Packet{}, false
+			}
 		}
 	}
 	if wait < c.cfg.Policy.SpinUnder {
@@ -216,7 +230,9 @@ func (c *Client) waitReply(ch chan netproto.Packet, wait time.Duration) (netprot
 		for {
 			select {
 			case reply := <-ch:
-				return reply, true
+				if reply.Seq == seq {
+					return reply, true
+				}
 			default:
 			}
 			if time.Now().After(deadline) {
@@ -226,12 +242,17 @@ func (c *Client) waitReply(ch chan netproto.Packet, wait time.Duration) (netprot
 		}
 	}
 	timer := time.NewTimer(wait)
-	select {
-	case reply := <-ch:
-		timer.Stop()
-		return reply, true
-	case <-timer.C:
-		return netproto.Packet{}, false
+	defer timer.Stop()
+	for {
+		select {
+		case reply := <-ch:
+			if reply.Seq != seq {
+				continue // stale; keep waiting out the timer
+			}
+			return reply, true
+		case <-timer.C:
+			return netproto.Packet{}, false
+		}
 	}
 }
 
@@ -374,7 +395,13 @@ func (c *Client) prepare(pkt netproto.Packet, cl *call) error {
 	cl.key = pkt.Key
 	cl.start = time.Now()
 	cl.frame = frame
-	cl.ch = make(chan netproto.Packet, 1)
+	cl.ch = replyChans.Get().(chan netproto.Packet)
+	// A late reply to the channel's previous call can land after its drain;
+	// clear it so this call never starts with a stale buffered packet.
+	select {
+	case <-cl.ch:
+	default:
+	}
 	c.mu.Lock()
 	c.pending[seq] = cl.ch
 	c.mu.Unlock()
@@ -431,6 +458,15 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 		delete(c.pending, cl.seq)
 		c.mu.Unlock()
 		bufpool.Put(cl.frame)
+		// Drain-and-pool the reply channel. A Receive that fetched the
+		// channel from pending before the delete can still deposit a
+		// duplicate after this drain; the SEQ guards on every receive path
+		// make that harmless.
+		select {
+		case <-cl.ch:
+		default:
+		}
+		replyChans.Put(cl.ch)
 	}()
 
 	adaptive := !c.cfg.Policy.FixedRTO
@@ -463,12 +499,10 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 		}
 		// The fabric may deliver synchronously, in which case the
 		// reply is already buffered.
-		select {
-		case reply := <-ch:
+		if reply, ok := c.waitReply(ch, cl.seq, 0); ok {
 			sample(attempt, start)
 			c.complete(cl)
 			return reply, nil
-		default:
 		}
 		wait := c.cfg.Timeout
 		if adaptive {
@@ -482,7 +516,7 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 		if adaptive && c.cfg.Policy.Hedge && attempt == 0 && !hedged &&
 			cl.op == netproto.OpGet {
 			if hd := est.HedgeDelay(); hd > 0 && hd < wait {
-				if reply, ok := c.waitReply(ch, hd); ok {
+				if reply, ok := c.waitReply(ch, cl.seq, hd); ok {
 					sample(attempt, start)
 					c.complete(cl)
 					return reply, nil
@@ -495,7 +529,7 @@ func (c *Client) await(cl *call, preSent bool) (netproto.Packet, error) {
 				wait -= hd
 			}
 		}
-		if reply, ok := c.waitReply(ch, wait); ok {
+		if reply, ok := c.waitReply(ch, cl.seq, wait); ok {
 			sample(attempt, start)
 			c.complete(cl)
 			return reply, nil

@@ -335,6 +335,39 @@ func (t *Table) Hits() uint64 { return t.hits.Load() }
 // Misses reports the number of lookups that fell through to the default.
 func (t *Table) Misses() uint64 { return t.misses.Load() }
 
+// ProbeExact resolves an exact-match lookup for the given field values
+// without running any action and without touching the hit/miss statistics —
+// the read side of a program-compiled fast path that consults a table before
+// committing to handle the packet outside the interpreter. Returns nil when
+// no entry matches; the default action is not consulted. Only meaningful on
+// MatchExact tables. The probe reads the same immutable snapshot apply uses,
+// so it is safe against concurrent control-plane updates.
+func (t *Table) ProbeExact(match ...uint64) *Entry {
+	st := t.state.Load()
+	var k exactKey
+	copy(k[:], match)
+	if st.small != nil {
+		for i := range st.small {
+			if st.small[i].k == k {
+				return st.small[i].e
+			}
+		}
+		return nil
+	}
+	if st.exact == nil {
+		return nil
+	}
+	return st.exact[shardOf(k)][k]
+}
+
+// NoteHit records an entry-matched traversal performed by a fast path that
+// resolved this table outside apply, keeping Hits truthful for tables the
+// packet logically traversed.
+func (t *Table) NoteHit() { t.hits.Add(1) }
+
+// NoteMiss records a default-action traversal performed by a fast path.
+func (t *Table) NoteMiss() { t.misses.Add(1) }
+
 // Action registers a named action implementation on the table.
 func (t *Table) Action(name string, fn ActionFunc) *Table {
 	if _, dup := t.actions[name]; dup {

@@ -385,6 +385,20 @@ func (pl *Pipeline) ProcessAppend(raw []byte, inPort int, out []Emitted) ([]Emit
 	return pl.process(raw, inPort, out, nil)
 }
 
+// CountBypass accounts one packet that a program-compiled fast path carried
+// around the interpreter as a mirrored reply: received, bound for
+// egressPort's pipe, mirrored to its final port, transmitted — the same
+// pipeline counters process bumps for an interpreted cache-hit read. Fast
+// paths call it exactly once per packet they fully handle so Stats stays
+// truthful; a fast path that bails out must not call it (the interpreter
+// then accounts the packet itself).
+func (pl *Pipeline) CountBypass(egressPort int) {
+	pl.ctr.rx.Add(1)
+	pl.ctr.byEgressPipe[pl.cfg.PipeOfPort(egressPort)].Add(1)
+	pl.ctr.mirrored.Add(1)
+	pl.ctr.tx.Add(1)
+}
+
 func (pl *Pipeline) process(raw []byte, inPort int, out []Emitted, trace *Trace) ([]Emitted, error) {
 	if inPort < 0 || inPort >= pl.cfg.NumPorts() {
 		return out, fmt.Errorf("dataplane: input port %d out of range [0,%d)", inPort, pl.cfg.NumPorts())

@@ -223,6 +223,7 @@ func (n *Node) RegisterStats(reg *stats.Registry, prefix string) {
 	for port, srv := range n.servers {
 		srv := srv
 		reg.Register(fmt.Sprintf("%sserver%d", prefix, port), func() any { return &srv.Metrics })
+		reg.Register(fmt.Sprintf("%sserver%d.store", prefix, port), func() any { return srv.StoreStats() })
 	}
 	reg.Register(prefix+"controller", func() any {
 		if n.Controller == nil {

@@ -20,7 +20,7 @@ var FailoverSeeds = []uint64{1, 20260806, 0xC0FFEE}
 // primary was dead, healthy-partition reads during the detection window,
 // zero timeouts in fault-free phases after recovery).
 func FailoverBench(quick bool) (*Table, error) {
-	cfg := chaos.FailoverConfig{}
+	cfg := chaos.FailoverConfig{StorageEngine: StorageEngine}
 	if !quick {
 		cfg.OpsPerPhase = 120
 		cfg.Keys = 48

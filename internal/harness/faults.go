@@ -59,6 +59,11 @@ var StatsEvery time.Duration
 // stderr after each row. Overridden by the netcache-bench -trace flag.
 var ChaosTrace int
 
+// StorageEngine selects the storage engine every harness-built rack and
+// leaf-spine fabric runs its servers on ("chained" or "cuckoo"; empty =
+// chained). Overridden by the netcache-bench -engine flag.
+var StorageEngine string
+
 // ChaosBench measures what fault injection costs the packet-level rack in
 // throughput terms: the same Zipf read/write workload is driven through a
 // clean fabric and through one injecting the configured fault mix, with
@@ -132,6 +137,7 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 		Servers: servers, Clients: clients, CacheCapacity: cached,
 		ClientTimeout: 2 * time.Millisecond, ClientRetries: 2,
 		ClientPolicy: policy, ClientWindow: window,
+		StorageEngine: StorageEngine,
 	})
 	if err != nil {
 		return res, err

@@ -85,6 +85,7 @@ func runMultiRackBench(p FaultParams, totalOps, window int) (kops, timeoutPct, r
 		ClientRetries:  2,
 		ClientPolicy:   ChaosPolicy,
 		ClientWindow:   window,
+		StorageEngine:  StorageEngine,
 	})
 	if err != nil {
 		return 0, 0, 0, 0, err

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"netcache/internal/netproto"
 	"netcache/internal/sketch"
@@ -15,16 +16,21 @@ import (
 // residents along a random walk; if the walk exceeds its budget the table
 // doubles and rehashes.
 //
-// Compared to the chained Store it trades insert-time work for dense,
-// constant-time lookups. A single RWMutex guards the table; use the sharded
-// Store when write concurrency dominates.
+// Reads are optimistic, after MemC3's version-validated lookups: every slot
+// is an atomic pointer to an immutable (key, value, version) record, and a
+// table-wide sequence counter goes odd while a displacement walk or rehash
+// is moving residents between buckets. GetAppend probes both candidate
+// buckets lock-free, revalidates the sequence, and only falls back to the
+// table lock after bounded retries. Writers serialize on a single mutex;
+// use the sharded Store when write concurrency dominates.
 type CuckooStore struct {
 	mu      sync.RWMutex
-	buckets []bucket
-	mask    uint64
+	seq     atomic.Uint64
+	table   atomic.Pointer[ctable]
 	n       int
 	version uint64
 	rng     *rand.Rand
+	retries atomic.Uint64
 }
 
 const (
@@ -36,27 +42,46 @@ const (
 	cuckooSeedB = 0xC949D7C7509E6557
 )
 
-type slot struct {
-	used    bool
+// cslot is one immutable resident record; writers publish a fresh record on
+// every update.
+type cslot struct {
 	key     netproto.Key
 	value   []byte
 	version uint64
 }
 
-type bucket [slotsPerBucket]slot
+type cbucket [slotsPerBucket]atomic.Pointer[cslot]
 
-// NewCuckoo returns an empty cuckoo-hash store.
-func NewCuckoo() *CuckooStore {
-	return &CuckooStore{
-		buckets: make([]bucket, 64),
-		mask:    63,
-		rng:     rand.New(rand.NewSource(0x5EED)),
-	}
+// ctable is one generation of the bucket array. Growing builds a complete
+// new table and swaps the pointer, so readers always see a structurally
+// intact generation.
+type ctable struct {
+	buckets []cbucket
+	mask    uint64
 }
 
-func (c *CuckooStore) bucketsOf(key netproto.Key) (uint64, uint64) {
-	a := sketch.Hash64(key[:], cuckooSeedA) & c.mask
-	b := sketch.Hash64(key[:], cuckooSeedB) & c.mask
+// NewCuckoo returns an empty cuckoo-hash store with the default initial
+// table (64 buckets).
+func NewCuckoo() *CuckooStore { return NewCuckooSized(0) }
+
+// NewCuckooSized returns an empty store whose initial table is scaled from
+// the same shards hint the chained Store takes: the chained engine
+// provisions shards×initialBuckets chain heads, so the cuckoo table starts
+// with enough 4-slot buckets to hold a comparable resident count before its
+// first rehash. A hint ≤ 1 gives the 64-bucket default.
+func NewCuckooSized(shards int) *CuckooStore {
+	n := 64
+	for n < shards*16 {
+		n <<= 1
+	}
+	c := &CuckooStore{rng: rand.New(rand.NewSource(0x5EED))}
+	c.table.Store(&ctable{buckets: make([]cbucket, n), mask: uint64(n - 1)})
+	return c
+}
+
+func cuckooIdx(key netproto.Key, mask uint64) (uint64, uint64) {
+	a := sketch.Hash64(key[:], cuckooSeedA) & mask
+	b := sketch.Hash64(key[:], cuckooSeedB) & mask
 	return a, b
 }
 
@@ -67,20 +92,68 @@ func (c *CuckooStore) Len() int {
 	return c.n
 }
 
-// Get returns a copy of the value and its version.
-func (c *CuckooStore) Get(key netproto.Key) ([]byte, uint64, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	a, b := c.bucketsOf(key)
+// ReadRetries returns the number of optimistic read attempts repeated (or
+// pushed to the lock) because a displacement walk or rehash was in flight.
+func (c *CuckooStore) ReadRetries() uint64 { return c.retries.Load() }
+
+// findLocked returns the slot holding key, or nil. Caller holds mu (either
+// mode keeps the table generation and residency stable).
+func (c *CuckooStore) findLocked(key netproto.Key) *atomic.Pointer[cslot] {
+	t := c.table.Load()
+	a, b := cuckooIdx(key, t.mask)
 	for _, bi := range [2]uint64{a, b} {
-		for si := range c.buckets[bi] {
-			s := &c.buckets[bi][si]
-			if s.used && s.key == key {
-				return append([]byte(nil), s.value...), s.version, true
+		for si := range t.buckets[bi] {
+			if sl := t.buckets[bi][si].Load(); sl != nil && sl.key == key {
+				return &t.buckets[bi][si]
 			}
 		}
 	}
-	return nil, 0, false
+	return nil
+}
+
+// Get returns a copy of the value and its version.
+func (c *CuckooStore) Get(key netproto.Key) ([]byte, uint64, bool) {
+	return c.GetAppend(key, nil)
+}
+
+// GetAppend appends key's value to dst and returns the extended slice with
+// the value's version; on a miss dst comes back unchanged. The common case
+// probes both candidate buckets without taking the table lock.
+func (c *CuckooStore) GetAppend(key netproto.Key, dst []byte) ([]byte, uint64, bool) {
+	for attempt := 0; attempt < maxReadAttempts; attempt++ {
+		seq := c.seq.Load()
+		if seq&1 != 0 {
+			c.retries.Add(1)
+			continue
+		}
+		t := c.table.Load()
+		a, b := cuckooIdx(key, t.mask)
+		var found *cslot
+	probe:
+		for _, bi := range [2]uint64{a, b} {
+			for si := range t.buckets[bi] {
+				if sl := t.buckets[bi][si].Load(); sl != nil && sl.key == key {
+					found = sl
+					break probe
+				}
+			}
+		}
+		if c.seq.Load() != seq {
+			c.retries.Add(1)
+			continue
+		}
+		if found == nil {
+			return dst, 0, false
+		}
+		return append(dst, found.value...), found.version, true
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p := c.findLocked(key); p != nil {
+		sl := p.Load()
+		return append(dst, sl.value...), sl.version, true
+	}
+	return dst, 0, false
 }
 
 // Put stores a copy of value under key.
@@ -88,22 +161,7 @@ func (c *CuckooStore) Put(key netproto.Key, value []byte) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.version++
-	v := append([]byte(nil), value...)
-
-	// Update in place if present.
-	a, b := c.bucketsOf(key)
-	for _, bi := range [2]uint64{a, b} {
-		for si := range c.buckets[bi] {
-			s := &c.buckets[bi][si]
-			if s.used && s.key == key {
-				s.value = v
-				s.version = c.version
-				return c.version
-			}
-		}
-	}
-	c.insertLocked(slot{used: true, key: key, value: v, version: c.version})
-	c.n++
+	c.putLocked(key, value, c.version)
 	return c.version
 }
 
@@ -115,20 +173,20 @@ func (c *CuckooStore) PutAt(key netproto.Key, value []byte, version uint64) bool
 	if c.version < version {
 		c.version = version
 	}
-	a, b := c.bucketsOf(key)
-	for _, bi := range [2]uint64{a, b} {
-		for si := range c.buckets[bi] {
-			s := &c.buckets[bi][si]
-			if s.used && s.key == key {
-				s.value = append([]byte(nil), value...)
-				s.version = version
-				return true
-			}
-		}
-	}
-	c.insertLocked(slot{used: true, key: key, value: append([]byte(nil), value...), version: version})
-	c.n++
+	c.putLocked(key, value, version)
 	return true
+}
+
+func (c *CuckooStore) putLocked(key netproto.Key, value []byte, version uint64) {
+	ns := &cslot{key: key, value: append([]byte(nil), value...), version: version}
+	if p := c.findLocked(key); p != nil {
+		// In-place update: one atomic publish, invisible to readers until
+		// complete, so no sequence bump.
+		p.Store(ns)
+		return
+	}
+	c.insertLocked(ns)
+	c.n++
 }
 
 // BumpVersion advances the version source to at least version without
@@ -142,17 +200,33 @@ func (c *CuckooStore) BumpVersion(_ netproto.Key, version uint64) {
 	c.mu.Unlock()
 }
 
-// insertLocked places a new slot, displacing residents as needed and
-// growing on walk exhaustion. Caller holds the write lock.
-func (c *CuckooStore) insertLocked(s slot) {
+// insertLocked places a new resident. An empty candidate slot is a plain
+// atomic publish; otherwise residents displace along a random walk inside a
+// seqlock window — a key in the walker's hand is momentarily in neither of
+// its buckets, and readers must not trust a probe that overlapped that.
+// Caller holds the write lock.
+func (c *CuckooStore) insertLocked(ns *cslot) {
+	t := c.table.Load()
+	a, b := cuckooIdx(ns.key, t.mask)
+	for _, bi := range [2]uint64{a, b} {
+		for si := range t.buckets[bi] {
+			if t.buckets[bi][si].Load() == nil {
+				t.buckets[bi][si].Store(ns)
+				return
+			}
+		}
+	}
+	c.seq.Add(1)
 	for {
-		cur := s
+		t := c.table.Load()
+		cur := ns
 		for kick := 0; kick < maxKicks; kick++ {
-			a, b := c.bucketsOf(cur.key)
+			a, b := cuckooIdx(cur.key, t.mask)
 			for _, bi := range [2]uint64{a, b} {
-				for si := range c.buckets[bi] {
-					if !c.buckets[bi][si].used {
-						c.buckets[bi][si] = cur
+				for si := range t.buckets[bi] {
+					if t.buckets[bi][si].Load() == nil {
+						t.buckets[bi][si].Store(cur)
+						c.seq.Add(1)
 						return
 					}
 				}
@@ -164,70 +238,76 @@ func (c *CuckooStore) insertLocked(s slot) {
 				bi = b
 			}
 			si := c.rng.Intn(slotsPerBucket)
-			c.buckets[bi][si], cur = cur, c.buckets[bi][si]
+			evicted := t.buckets[bi][si].Load()
+			t.buckets[bi][si].Store(cur)
+			cur = evicted
 		}
 		// Walk exhausted: double the table and retry with the orphan.
 		c.growLocked()
-		s = cur
+		ns = cur
 	}
 }
 
-// growLocked doubles the bucket array and rehashes every resident. Caller
-// holds the write lock.
+// growLocked rehashes every resident into a fresh table of at least twice
+// the current size, doubling again if a rehash walk exhausts, then swaps
+// the table pointer. Caller holds the write lock with the sequence odd.
 func (c *CuckooStore) growLocked() {
-	old := c.buckets
-	c.buckets = make([]bucket, 2*len(old))
-	c.mask = uint64(len(c.buckets) - 1)
-	for bi := range old {
-		for si := range old[bi] {
-			if s := old[bi][si]; s.used {
-				c.placeRehashLocked(s)
+	old := c.table.Load()
+	size := 2 * len(old.buckets)
+retry:
+	for {
+		nt := &ctable{buckets: make([]cbucket, size), mask: uint64(size - 1)}
+		for bi := range old.buckets {
+			for si := range old.buckets[bi] {
+				if sl := old.buckets[bi][si].Load(); sl != nil {
+					if !placeInto(nt, sl, c.rng) {
+						size *= 2
+						continue retry
+					}
+				}
 			}
 		}
+		c.table.Store(nt)
+		return
 	}
 }
 
-// placeRehashLocked inserts during a rehash. The walk cannot cycle forever
-// in practice; if it exhausts, grow again (recursion depth is bounded by
-// the quality of the hash).
-func (c *CuckooStore) placeRehashLocked(s slot) {
-	cur := s
+// placeInto inserts sl into a table under construction (not yet published),
+// displacing along a random walk; false means the walk exhausted and the
+// table is too small.
+func placeInto(t *ctable, sl *cslot, rng *rand.Rand) bool {
+	cur := sl
 	for kick := 0; kick < maxKicks; kick++ {
-		a, b := c.bucketsOf(cur.key)
+		a, b := cuckooIdx(cur.key, t.mask)
 		for _, bi := range [2]uint64{a, b} {
-			for si := range c.buckets[bi] {
-				if !c.buckets[bi][si].used {
-					c.buckets[bi][si] = cur
-					return
+			for si := range t.buckets[bi] {
+				if t.buckets[bi][si].Load() == nil {
+					t.buckets[bi][si].Store(cur)
+					return true
 				}
 			}
 		}
 		bi := a
-		if c.rng.Intn(2) == 1 {
+		if rng.Intn(2) == 1 {
 			bi = b
 		}
-		si := c.rng.Intn(slotsPerBucket)
-		c.buckets[bi][si], cur = cur, c.buckets[bi][si]
+		si := rng.Intn(slotsPerBucket)
+		evicted := t.buckets[bi][si].Load()
+		t.buckets[bi][si].Store(cur)
+		cur = evicted
 	}
-	c.growLocked()
-	c.placeRehashLocked(cur)
+	return false
 }
 
 // Delete removes key.
 func (c *CuckooStore) Delete(key netproto.Key) (uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	a, b := c.bucketsOf(key)
-	for _, bi := range [2]uint64{a, b} {
-		for si := range c.buckets[bi] {
-			s := &c.buckets[bi][si]
-			if s.used && s.key == key {
-				*s = slot{}
-				c.n--
-				c.version++
-				return c.version, true
-			}
-		}
+	if p := c.findLocked(key); p != nil {
+		p.Store(nil)
+		c.n--
+		c.version++
+		return c.version, true
 	}
 	return 0, false
 }
@@ -236,10 +316,11 @@ func (c *CuckooStore) Delete(key netproto.Key) (uint64, bool) {
 func (c *CuckooStore) Range(fn func(key netproto.Key, value []byte, version uint64) bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	for bi := range c.buckets {
-		for si := range c.buckets[bi] {
-			if s := &c.buckets[bi][si]; s.used {
-				if !fn(s.key, s.value, s.version) {
+	t := c.table.Load()
+	for bi := range t.buckets {
+		for si := range t.buckets[bi] {
+			if sl := t.buckets[bi][si].Load(); sl != nil {
+				if !fn(sl.key, sl.value, sl.version) {
 					return
 				}
 			}
@@ -252,5 +333,5 @@ func (c *CuckooStore) Range(fn func(key netproto.Key, value []byte, version uint
 func (c *CuckooStore) LoadFactor() float64 {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return float64(c.n) / float64(len(c.buckets)*slotsPerBucket)
+	return float64(c.n) / float64(len(c.table.Load().buckets)*slotsPerBucket)
 }

@@ -9,6 +9,16 @@ import "netcache/internal/netproto"
 type Engine interface {
 	// Get returns a copy of the value and its version.
 	Get(key netproto.Key) (value []byte, version uint64, ok bool)
+	// GetAppend appends the value to dst and returns the extended slice
+	// with the value's version; on a miss dst comes back unchanged. This
+	// is the zero-copy read path: both engines serve it with optimistic
+	// (seqlock / version-validated) reads that take no lock in the common
+	// case, so a hot read costs one chain or bucket probe plus the append.
+	GetAppend(key netproto.Key, dst []byte) (value []byte, version uint64, ok bool)
+	// ReadRetries returns how many optimistic read attempts had to be
+	// repeated because a structural writer was active (surfaced through
+	// stats.Registry as store.read_retries).
+	ReadRetries() uint64
 	// Put stores a copy of value and returns a version strictly greater
 	// than any previous version of the key.
 	Put(key netproto.Key, value []byte) (version uint64)
@@ -43,13 +53,14 @@ var (
 )
 
 // NewEngine constructs a named engine: "chained" (default for "") or
-// "cuckoo". Unknown names return nil.
+// "cuckoo". The shards hint sizes both: the chained store's shard count and
+// the cuckoo store's initial table. Unknown names return nil.
 func NewEngine(name string, shards int) Engine {
 	switch name {
 	case "", "chained":
 		return New(shards)
 	case "cuckoo":
-		return NewCuckoo()
+		return NewCuckooSized(shards)
 	}
 	return nil
 }

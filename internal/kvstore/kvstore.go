@@ -9,6 +9,15 @@
 // a pure function of the key, as RSS makes it a pure function of the flow.
 // Every mutation stamps a monotonically increasing version used as the value
 // version number (SEQ) of the cache-coherence protocol.
+//
+// Reads are optimistic, in the MemC3/libcuckoo lineage the paper cites as
+// related work: a per-shard seqlock lets GetAppend walk the chain without
+// taking the shard lock. Writers still serialize on the shard mutex; only
+// structural mutations (unlink, rehash) bump the sequence, so in-place value
+// updates never force readers to retry. Every shared field a reader touches
+// is an atomic pointer to immutable data, which keeps the optimistic path
+// clean under the race detector and makes a torn read impossible — a
+// sequence mismatch only ever means "retry", never "undefined behavior".
 package kvstore
 
 import (
@@ -23,18 +32,37 @@ import (
 const (
 	initialBuckets = 64
 	maxLoadFactor  = 0.75
+
+	// maxReadAttempts bounds the optimistic read loop before falling back
+	// to the shard lock — liveness under pathological writer churn.
+	maxReadAttempts = 8
+	// maxChainWalk bounds one optimistic chain traversal. A reader racing a
+	// rehash can wander across chains; the sequence check catches the wrong
+	// answer, but only the step bound catches a transient cycle.
+	maxChainWalk = 1 << 12
 )
 
-type entry struct {
-	key     netproto.Key
-	value   []byte
+// versioned is one immutable (value, version) snapshot. Writers publish a
+// fresh box on every update; readers load the pointer once and get both
+// fields consistent by construction.
+type versioned struct {
+	data    []byte
 	version uint64
-	next    *entry
+}
+
+type entry struct {
+	key  netproto.Key
+	val  atomic.Pointer[versioned]
+	next atomic.Pointer[entry]
 }
 
 type shard struct {
-	mu      sync.RWMutex
-	buckets []*entry
+	mu sync.RWMutex
+	// seq is the seqlock generation: odd while a structural writer
+	// (unlink or rehash) is in progress. Readers snapshot it before the
+	// walk and revalidate after.
+	seq     atomic.Uint64
+	buckets atomic.Pointer[[]atomic.Pointer[entry]]
 	n       int
 	version uint64 // monotonic per-shard version source
 }
@@ -42,9 +70,10 @@ type shard struct {
 // Store is a sharded in-memory key-value store. The zero value is not
 // usable; construct with New.
 type Store struct {
-	shards []shard
-	mask   uint64
-	len    atomic.Int64
+	shards  []shard
+	mask    uint64
+	len     atomic.Int64
+	retries atomic.Uint64
 }
 
 // New returns a store with the given number of shards (rounded up to a power
@@ -57,7 +86,8 @@ func New(nShards int) *Store {
 	}
 	s := &Store{shards: make([]shard, n), mask: uint64(n - 1)}
 	for i := range s.shards {
-		s.shards[i].buckets = make([]*entry, initialBuckets)
+		b := make([]atomic.Pointer[entry], initialBuckets)
+		s.shards[i].buckets.Store(&b)
 	}
 	return s
 }
@@ -67,6 +97,11 @@ func (s *Store) NumShards() int { return len(s.shards) }
 
 // Len returns the number of stored items.
 func (s *Store) Len() int { return int(s.len.Load()) }
+
+// ReadRetries returns the number of optimistic read attempts that had to be
+// repeated (or fell through to the shard lock) because a structural writer
+// was active.
+func (s *Store) ReadRetries() uint64 { return s.retries.Load() }
 
 // ShardOf returns the shard index serving key — the RSS emulation used by
 // the server agent to pick a queue.
@@ -81,15 +116,83 @@ func bucketHash(key netproto.Key) uint64 {
 // Get returns the value and version of key. The returned slice is a copy;
 // callers may retain it.
 func (s *Store) Get(key netproto.Key) (value []byte, version uint64, ok bool) {
+	return s.GetAppend(key, nil)
+}
+
+// GetAppend appends key's value to dst and returns the extended slice with
+// the value's version. On a miss it returns dst unchanged. The common case
+// takes no lock: the chain walk runs under the shard seqlock and retries on
+// interference, falling back to the read lock after maxReadAttempts.
+func (s *Store) GetAppend(key netproto.Key, dst []byte) (value []byte, version uint64, ok bool) {
 	sh := &s.shards[s.ShardOf(key)]
+	h := bucketHash(key)
+	for attempt := 0; attempt < maxReadAttempts; attempt++ {
+		seq := sh.seq.Load()
+		if seq&1 != 0 {
+			s.retries.Add(1)
+			continue
+		}
+		bkts := *sh.buckets.Load()
+		var box *versioned
+		overrun := false
+		steps := 0
+		for e := bkts[h&uint64(len(bkts)-1)].Load(); e != nil; e = e.next.Load() {
+			if steps++; steps > maxChainWalk {
+				overrun = true
+				break
+			}
+			if e.key == key {
+				box = e.val.Load()
+				break
+			}
+		}
+		if overrun || sh.seq.Load() != seq {
+			s.retries.Add(1)
+			continue
+		}
+		if box == nil {
+			return dst, 0, false
+		}
+		// box.data is immutable, so the copy can happen after validation.
+		return append(dst, box.data...), box.version, true
+	}
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	for e := sh.buckets[bucketHash(key)&uint64(len(sh.buckets)-1)]; e != nil; e = e.next {
+	bkts := *sh.buckets.Load()
+	for e := bkts[h&uint64(len(bkts)-1)].Load(); e != nil; e = e.next.Load() {
 		if e.key == key {
-			return append([]byte(nil), e.value...), e.version, true
+			box := e.val.Load()
+			return append(dst, box.data...), box.version, true
 		}
 	}
-	return nil, 0, false
+	return dst, 0, false
+}
+
+// putLocked installs (value, version) under key, assuming the shard lock is
+// held and the version source already advanced. value is copied.
+func (s *Store) putLocked(sh *shard, key netproto.Key, value []byte, version uint64) {
+	box := &versioned{data: append([]byte(nil), value...), version: version}
+	bkts := *sh.buckets.Load()
+	idx := bucketHash(key) & uint64(len(bkts)-1)
+	for e := bkts[idx].Load(); e != nil; e = e.next.Load() {
+		if e.key == key {
+			// In-place update: publishing the new box is atomic, so
+			// concurrent optimistic readers need no retry.
+			e.val.Store(box)
+			return
+		}
+	}
+	// Head insert: the node is fully built before the bucket pointer
+	// publishes it, so this too is invisible-or-complete to readers.
+	e := &entry{key: key}
+	e.val.Store(box)
+	e.next.Store(bkts[idx].Load())
+	bkts[idx].Store(e)
+	sh.n++
+	s.len.Add(1)
+	if float64(sh.n) > maxLoadFactor*float64(len(bkts)) {
+		sh.grow()
+	}
 }
 
 // Put stores value under key (value is copied) and returns the new version.
@@ -100,21 +203,7 @@ func (s *Store) Put(key netproto.Key, value []byte) (version uint64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.version++
-	v := append([]byte(nil), value...)
-	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
-	for e := sh.buckets[idx]; e != nil; e = e.next {
-		if e.key == key {
-			e.value = v
-			e.version = sh.version
-			return e.version
-		}
-	}
-	sh.buckets[idx] = &entry{key: key, value: v, version: sh.version, next: sh.buckets[idx]}
-	sh.n++
-	s.len.Add(1)
-	if float64(sh.n) > maxLoadFactor*float64(len(sh.buckets)) {
-		sh.grow()
-	}
+	s.putLocked(sh, key, value, sh.version)
 	return sh.version
 }
 
@@ -128,20 +217,7 @@ func (s *Store) PutAt(key netproto.Key, value []byte, version uint64) bool {
 	if sh.version < version {
 		sh.version = version
 	}
-	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
-	for e := sh.buckets[idx]; e != nil; e = e.next {
-		if e.key == key {
-			e.value = append([]byte(nil), value...)
-			e.version = version
-			return true
-		}
-	}
-	sh.buckets[idx] = &entry{key: key, value: append([]byte(nil), value...), version: version, next: sh.buckets[idx]}
-	sh.n++
-	s.len.Add(1)
-	if float64(sh.n) > maxLoadFactor*float64(len(sh.buckets)) {
-		sh.grow()
-	}
+	s.putLocked(sh, key, value, version)
 	return true
 }
 
@@ -162,15 +238,26 @@ func (s *Store) Delete(key netproto.Key) (version uint64, ok bool) {
 	sh := &s.shards[s.ShardOf(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	idx := bucketHash(key) & uint64(len(sh.buckets)-1)
-	for pp := &sh.buckets[idx]; *pp != nil; pp = &(*pp).next {
-		if (*pp).key == key {
-			*pp = (*pp).next
+	bkts := *sh.buckets.Load()
+	idx := bucketHash(key) & uint64(len(bkts)-1)
+	var prev *entry
+	for e := bkts[idx].Load(); e != nil; e = e.next.Load() {
+		if e.key == key {
+			// Unlinking re-routes a chain a reader may be walking:
+			// announce the structural change through the seqlock.
+			sh.seq.Add(1)
+			if prev == nil {
+				bkts[idx].Store(e.next.Load())
+			} else {
+				prev.next.Store(e.next.Load())
+			}
+			sh.seq.Add(1)
 			sh.n--
 			s.len.Add(-1)
 			sh.version++
 			return sh.version, true
 		}
+		prev = e
 	}
 	return 0, false
 }
@@ -181,9 +268,11 @@ func (s *Store) Range(fn func(key netproto.Key, value []byte, version uint64) bo
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
-		for _, head := range sh.buckets {
-			for e := head; e != nil; e = e.next {
-				if !fn(e.key, e.value, e.version) {
+		bkts := *sh.buckets.Load()
+		for b := range bkts {
+			for e := bkts[b].Load(); e != nil; e = e.next.Load() {
+				box := e.val.Load()
+				if !fn(e.key, box.data, box.version) {
 					sh.mu.RUnlock()
 					return
 				}
@@ -193,20 +282,26 @@ func (s *Store) Range(fn func(key netproto.Key, value []byte, version uint64) bo
 	}
 }
 
-// grow doubles the shard's bucket array. Caller holds the shard lock.
+// grow doubles the shard's bucket array, relinking the existing entry nodes.
+// Caller holds the shard lock; the whole rehash runs inside one seqlock
+// window since readers mid-walk would otherwise follow next pointers across
+// chains.
 func (sh *shard) grow() {
-	old := sh.buckets
-	sh.buckets = make([]*entry, 2*len(old))
-	mask := uint64(len(sh.buckets) - 1)
-	for _, head := range old {
-		for e := head; e != nil; {
-			next := e.next
+	old := *sh.buckets.Load()
+	nb := make([]atomic.Pointer[entry], 2*len(old))
+	mask := uint64(len(nb) - 1)
+	sh.seq.Add(1)
+	for i := range old {
+		for e := old[i].Load(); e != nil; {
+			next := e.next.Load()
 			idx := bucketHash(e.key) & mask
-			e.next = sh.buckets[idx]
-			sh.buckets[idx] = e
+			e.next.Store(nb[idx].Load())
+			nb[idx].Store(e)
 			e = next
 		}
 	}
+	sh.buckets.Store(&nb)
+	sh.seq.Add(1)
 }
 
 // Stats describes the store's internal shape, for diagnostics.
@@ -226,12 +321,13 @@ func (s *Store) Stats() Stats {
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.RLock()
+		bkts := *sh.buckets.Load()
 		st.Items += sh.n
-		st.Buckets += len(sh.buckets)
+		st.Buckets += len(bkts)
 		st.ItemsByShard[i] = sh.n
-		for _, head := range sh.buckets {
+		for b := range bkts {
 			chain := 0
-			for e := head; e != nil; e = e.next {
+			for e := bkts[b].Load(); e != nil; e = e.next.Load() {
 				chain++
 			}
 			if chain > st.MaxChain {

@@ -91,6 +91,9 @@ type Config struct {
 	// HeartbeatMisses overrides the ToR controllers' consecutive-miss
 	// death threshold; zero keeps the controller default.
 	HeartbeatMisses int
+	// StorageEngine selects every server's storage engine ("chained" or
+	// "cuckoo"); empty means the server default (chained).
+	StorageEngine string
 }
 
 // Fabric is the assembled leaf-spine deployment.
@@ -169,7 +172,7 @@ func New(cfg Config) (*Fabric, error) {
 		rackServers := make([]*server.Server, 0, cfg.ServersPerRack)
 		for s := 0; s < cfg.ServersPerRack; s++ {
 			addr := cfg.serverAddr(r, s)
-			scfg := server.Config{Addr: addr, Shards: 2}
+			scfg := server.Config{Addr: addr, Shards: 2, Engine: cfg.StorageEngine}
 			if cfg.Replicate {
 				scfg.PartitionOf = func(key netproto.Key) netproto.Addr { return f.Partition(key) }
 			}

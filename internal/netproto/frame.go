@@ -135,6 +135,14 @@ func AppendFramePacket(buf []byte, dst, src Addr, pkt *Packet) ([]byte, error) {
 	return buf, nil
 }
 
+// VerifyFrame reports whether b is long enough to be a frame and carries a
+// valid checksum — the integrity half of DecodeFrame, for callers that have
+// already located the fields they need by offset.
+func VerifyFrame(b []byte) bool {
+	return len(b) >= FrameHeaderSize &&
+		binary.BigEndian.Uint32(b[frameCksumOff:FrameHeaderSize]) == frameChecksum(b)
+}
+
 // DecodeFrame parses and verifies b. The payload aliases b.
 func DecodeFrame(b []byte) (Frame, error) {
 	if len(b) < FrameHeaderSize {

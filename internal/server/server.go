@@ -70,6 +70,26 @@ type Metrics struct {
 	ReplicatesDeduped stats.Counter
 }
 
+// StoreStats is a snapshot of the storage engine's own counters, surfaced
+// through stats.Registry alongside the agent's Metrics (the engine is
+// replaceable across a wiping restart, so the registry resolves it lazily
+// via Server.StoreStats rather than holding the engine).
+type StoreStats struct {
+	Items       uint64
+	ReadRetries uint64
+}
+
+// StoreStats reads the current engine's counters.
+func (s *Server) StoreStats() *StoreStats {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	return &StoreStats{
+		Items:       uint64(store.Len()),
+		ReadRetries: store.ReadRetries(),
+	}
+}
+
 // Server is one storage node. Attach it to the fabric with SetSend +
 // Receive. Safe for concurrent use.
 type Server struct {
@@ -332,12 +352,24 @@ func (s *Server) ctlDedup(seq uint64) bool {
 	return true
 }
 
+// handleGet is the zero-copy read path: the reply headers go into a pooled
+// frame, the store appends the value directly into it (GetAppend — no
+// intermediate value slice, no Packet), and the frame is sealed and sent.
 func (s *Server) handleGet(src netproto.Addr, pkt netproto.Packet) {
 	s.Metrics.Gets.Inc()
 	s.trace.Load().Record(qtrace.ServerGet, pkt.Op, pkt.Seq, pkt.Key, false, false)
-	value, _, ok := s.store.Get(pkt.Key)
-	reply := netproto.Reply(&pkt, value, ok)
-	s.reply(src, reply)
+	frame := bufpool.Get()
+	frame = netproto.ReplyInto(frame, src, s.cfg.Addr, netproto.OpGetReply, pkt.Seq, pkt.Key)
+	frame, _, ok := s.store.GetAppend(pkt.Key, frame)
+	if !ok {
+		netproto.SetFrameOp(frame, netproto.OpGetReplyMiss)
+	}
+	if err := netproto.SealReply(frame); err != nil {
+		bufpool.Put(frame)
+		return
+	}
+	s.send(frame)
+	bufpool.Put(frame)
 }
 
 // handleWrite applies a write or queues it if the key is blocked.

@@ -386,6 +386,18 @@ func (n *Net) partitioned(in, out int) bool {
 	return p
 }
 
+// hasFaults reports whether a fault rule is installed on port+dir — the
+// condition under which applyFaults can do anything but pass the frame
+// through. Callers on the hot path check it first and skip applyFaults
+// entirely when clean, avoiding the per-frame [][]byte wrapper the
+// passthrough return would allocate.
+func (n *Net) hasFaults(port int, dir Dir) bool {
+	n.faultMu.RLock()
+	_, ok := n.faults[faultKey{port, dir}]
+	n.faultMu.RUnlock()
+	return ok
+}
+
 // applyFaults runs one frame through the fault processes of port+dir and
 // returns the frames to forward now: none (lost or held), one, or several
 // (duplicates and released holdbacks, holdbacks last).
@@ -473,6 +485,9 @@ func (n *Net) Inject(frame []byte, port int) error {
 		n.DownDropped.Inc()
 		return nil
 	}
+	if !n.hasFaults(port, ToSwitch) {
+		return n.forward(frame, port, nil)
+	}
 	for _, f := range n.applyFaults(frame, port, ToSwitch) {
 		if err := n.forward(f, port, nil); err != nil {
 			return err
@@ -509,7 +524,15 @@ func (n *Net) InjectBatch(frames [][]byte, port int) error {
 	}
 	var sink batchSink
 	var firstErr error
+	faulty := n.hasFaults(port, ToSwitch)
 	for _, frame := range frames {
+		if !faulty {
+			if err := n.forward(frame, port, &sink); err != nil {
+				firstErr = err
+				break
+			}
+			continue
+		}
 		for _, f := range n.applyFaults(frame, port, ToSwitch) {
 			if err := n.forward(f, port, &sink); err != nil {
 				firstErr = err
@@ -578,6 +601,13 @@ func (n *Net) forward(frame []byte, inPort int, sink *batchSink) error {
 		if n.isDown(em.Port, FromSwitch) {
 			n.DownDropped.Inc()
 			dataplane.ReleaseFrame(em)
+			continue
+		}
+		if !n.hasFaults(em.Port, FromSwitch) {
+			pooled := em.Pooled && len(em.Frame) > 0
+			if err := n.deliverFinal(em.Frame, em.Port, pooled, sink); err != nil {
+				return err
+			}
 			continue
 		}
 		fs := n.applyFaults(em.Frame, em.Port, FromSwitch)

@@ -66,6 +66,12 @@ type Config struct {
 	// updates through every port — the snake test — need it; production
 	// configurations should not.
 	AllowForeignUpdates bool
+	// DisableFastPath turns off the compiled cached-GET fast path and
+	// forces every packet through the generic table interpreter. The fast
+	// path is behavior-preserving (the differential tests hold the two
+	// paths byte- and counter-identical), so this exists for those tests
+	// and for debugging, not for production tuning.
+	DisableFastPath bool
 }
 
 // PaperConfig returns the prototype configuration of §6: 64K-entry lookup
@@ -146,6 +152,16 @@ type Switch struct {
 	cms    [4]*dataplane.Register
 	bloom  [3]*dataplane.Register
 	values []*dataplane.Register
+
+	// remaining table handles on the cached-GET traversal, kept so the
+	// fast path (fastpath.go) can replicate their hit/miss statistics.
+	prep    *dataplane.Table
+	sampleT *dataplane.Table
+	statusT *dataplane.Table
+	vlenT   *dataplane.Table
+	ctrT    *dataplane.Table
+	mirrorT *dataplane.Table
+	valueT  []*dataplane.Table
 
 	sampler      *sketch.Sampler
 	hotThreshold atomic.Uint64
@@ -384,6 +400,7 @@ func (sw *Switch) buildIngress(f phv) {
 	if err := prep.AddEntry([]uint64{1, uint64(netproto.OpGet)}, "route_on_src", nil); err != nil {
 		panic(err)
 	}
+	sw.prep = prep
 
 	// route: standard L3-style forwarding on the selected address. For a
 	// cache-hit read the result is the client-facing port, remembered for
@@ -437,6 +454,7 @@ func (sw *Switch) buildEgress(f phv) {
 	if err := sample.SetDefault("roll", nil); err != nil {
 		panic(err)
 	}
+	sw.sampleT = sample
 
 	// cache_status: the validity bit per cached key. Reads check it,
 	// writes clear it (invalidation), cache updates set it (§4.4.4).
@@ -537,6 +555,7 @@ func (sw *Switch) buildEgress(f phv) {
 	mustAdd(status, []uint64{uint64(netproto.OpPutCached)}, "invalidate_pass", nil)
 	mustAdd(status, []uint64{uint64(netproto.OpDeleteCached)}, "invalidate_pass", nil)
 	mustAdd(status, []uint64{uint64(netproto.OpCacheUpdate)}, "validate", nil)
+	sw.statusT = status
 
 	// vlen: authoritative value length per cached key, so data-plane
 	// cache updates may shrink a value without a control-plane touch.
@@ -567,6 +586,7 @@ func (sw *Switch) buildEgress(f phv) {
 	})
 	mustAdd(vlenT, []uint64{uint64(netproto.OpGet)}, "read", nil)
 	mustAdd(vlenT, []uint64{uint64(netproto.OpCacheUpdate)}, "write", nil)
+	sw.vlenT = vlenT
 
 	// cache_ctr: per-key hit counter, sampled (§4.4.3, Fig. 7).
 	sw.ctr = p.Register(dataplane.RegisterSpec{
@@ -593,6 +613,7 @@ func (sw *Switch) buildEgress(f phv) {
 	if err := ctrT.SetDefault("bump", nil); err != nil {
 		panic(err)
 	}
+	sw.ctrT = ctrT
 
 	// Count-Min sketch: 4 rows across 4 stages, tracking sampled reads
 	// for *uncached* keys only — the design point that saves switch
@@ -716,6 +737,7 @@ func (sw *Switch) buildEgress(f phv) {
 	// is gated on its bitmap bit; Get appends the slot to the value
 	// buffer, CacheUpdate overwrites the slot from the packet.
 	sw.values = make([]*dataplane.Register, sw.cfg.ValueArrays)
+	sw.valueT = make([]*dataplane.Table, sw.cfg.ValueArrays)
 	var prevVal = status
 	for i := 0; i < sw.cfg.ValueArrays; i++ {
 		i := i
@@ -774,6 +796,7 @@ func (sw *Switch) buildEgress(f phv) {
 		); err != nil {
 			panic(err)
 		}
+		sw.valueT[i] = tab
 		prevVal = tab
 	}
 
@@ -797,6 +820,7 @@ func (sw *Switch) buildEgress(f phv) {
 	if err := mirror.SetDefault("to_client", nil); err != nil {
 		panic(err)
 	}
+	sw.mirrorT = mirror
 }
 
 func (sw *Switch) buildDeparser(f phv) {
@@ -882,9 +906,17 @@ func keyFields(key netproto.Key) []uint64 {
 	}
 }
 
-// Process runs one frame through the switch data plane.
+// Process runs one frame through the switch data plane. Valid cached reads
+// are served by the compiled fast path (fastpath.go); everything else runs
+// the generic table interpreter.
 func (sw *Switch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error) {
-	out, err := sw.pl.Process(frame, inPort)
+	var out []dataplane.Emitted
+	var err error
+	if em, ok := sw.fastGet(frame, inPort); ok {
+		out = []dataplane.Emitted{em}
+	} else {
+		out, err = sw.pl.Process(frame, inPort)
+	}
 	if tap := sw.trace.Load(); tap != nil {
 		sw.traceFrame(tap, frame, out)
 	}
@@ -896,7 +928,12 @@ func (sw *Switch) Process(frame []byte, inPort int) ([]dataplane.Emitted, error)
 // dataplane.ReleaseFrame.
 func (sw *Switch) ProcessAppend(frame []byte, inPort int, out []dataplane.Emitted) ([]dataplane.Emitted, error) {
 	nOld := len(out)
-	out, err := sw.pl.ProcessAppend(frame, inPort, out)
+	var err error
+	if em, ok := sw.fastGet(frame, inPort); ok {
+		out = append(out, em)
+	} else {
+		out, err = sw.pl.ProcessAppend(frame, inPort, out)
+	}
 	if tap := sw.trace.Load(); tap != nil {
 		sw.traceFrame(tap, frame, out[nOld:])
 	}
