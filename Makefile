@@ -40,6 +40,11 @@ bench:
 # packages define same-named end-to-end benches).
 PIPELINE_BENCH = BenchmarkPipelineSequential|BenchmarkPipelineParallel|BenchmarkEndToEndCachedGet|BenchmarkEndToEndServerGet|BenchmarkRackParallelGet|BenchmarkRackPipelinedGet
 
+# The observability suite: snapshot/scrape cost, the rate engine's
+# per-window cost, trace-on/off and telemetry-on/off pipeline pairs (the
+# telemetry-on budget is <5% over off; see DESIGN.md #13).
+OBS_BENCH = BenchmarkObs|BenchmarkMonitorWindow|BenchmarkTelemetry
+
 define run_pipeline_benches
 	{ $(GO) test -run xxx -benchmem -bench '$(PIPELINE_BENCH)' . && \
 	  $(GO) test -run xxx -benchmem -bench 'BenchmarkFastPathCachedGet' ./internal/switchcore && \
@@ -58,7 +63,7 @@ bench-json:
 		. | $(GO) run ./cmd/benchjson > BENCH_failover.json
 	@cat BENCH_failover.json
 	$(GO) test -run xxx -benchmem \
-		-bench 'BenchmarkObs' \
+		-bench '$(OBS_BENCH)' \
 		. | $(GO) run ./cmd/benchjson > BENCH_obs.json
 	@cat BENCH_obs.json
 
@@ -69,6 +74,8 @@ bench-json:
 # required.
 bench-compare:
 	$(call run_pipeline_benches) | $(GO) run ./cmd/benchcompare -baseline BENCH_pipeline.json
+	$(GO) test -run xxx -benchmem -bench '$(OBS_BENCH)' . \
+		| $(GO) run ./cmd/benchcompare -baseline BENCH_obs.json
 
 # Regenerate every table/figure of the paper's evaluation (EXPERIMENTS.md).
 experiments:

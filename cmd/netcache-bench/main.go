@@ -22,7 +22,8 @@ import (
 	"netcache/internal/client"
 	"netcache/internal/harness"
 	_ "netcache/internal/queuesim" // registers the fig10c-sim latency experiment
-	_ "netcache/internal/topo"     // registers the fig10f scalability model
+	"netcache/internal/telemetry"
+	_ "netcache/internal/topo" // registers the fig10f scalability model
 )
 
 func main() {
@@ -46,7 +47,8 @@ func main() {
 	serversPerRack := flag.Int("servers-per-rack", harness.MultiRackParams.ServersPerRack, "multirack: storage servers per rack")
 	spineCache := flag.Int("spine-cache", harness.MultiRackParams.SpineCache, "multirack: spine switch cache capacity")
 	torCache := flag.Int("tor-cache", harness.MultiRackParams.TorCache, "multirack: per-ToR switch cache capacity")
-	statsEvery := flag.Duration("stats-every", 0, "chaosbench: dump a full observability snapshot (JSON, stderr) on this period (0 disables)")
+	statsEvery := flag.Duration("stats-every", 0, "chaosbench: dump one windowed-rate SNAPSHOT line (JSON, stderr) per period (0 disables)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /snapshot, /trace, /debug/pprof on this HTTP address while experiments run (empty disables)")
 	trace := flag.Int("trace", 0, "chaosbench: enable query tracing with a ring of this many records; tail dumped to stderr per row (0 disables)")
 	engine := flag.String("engine", "", "storage engine for every packet-level experiment: chained or cuckoo (empty = chained)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -64,6 +66,17 @@ func main() {
 	harness.ChaosWindow = *window
 	harness.StatsEvery = *statsEvery
 	harness.ChaosTrace = *trace
+	if *telemetryAddr != "" {
+		ts := telemetry.New(telemetry.Config{})
+		bound, err := ts.Start(*telemetryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netcache-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		harness.Telemetry = ts
+		fmt.Fprintf(os.Stderr, "netcache-bench: telemetry on http://%v/metrics (sources attach as experiments run)\n", bound)
+	}
 	switch *engine {
 	case "", "chained", "cuckoo":
 	default:

@@ -6,6 +6,11 @@
 //
 //	netcache-server -switch 127.0.0.1:9000 -addr 1 [-shards 4]
 //	                [-preload 1000] [-valuesize 64]
+//	                [-telemetry-addr 127.0.0.1:9180]
+//
+// -telemetry-addr serves the live telemetry plane over HTTP: /metrics
+// (Prometheus text), /snapshot (JSON counters plus windowed rates),
+// /debug/pprof. See DESIGN.md §13.
 //
 // -addr is this server's rack address (1..N); clients partition the
 // keyspace over these addresses. -preload fills the store with the shared
@@ -21,6 +26,8 @@ import (
 	"netcache/internal/client"
 	"netcache/internal/netproto"
 	"netcache/internal/server"
+	"netcache/internal/stats"
+	"netcache/internal/telemetry"
 	"netcache/internal/udptrans"
 	"netcache/internal/workload"
 )
@@ -33,12 +40,29 @@ func main() {
 	preload := flag.Int("preload", 0, "preload this many dataset items owned by this server")
 	servers := flag.Int("servers", 1, "total servers in the rack (for -preload ownership)")
 	valueSize := flag.Int("valuesize", 64, "preloaded value size in bytes")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /snapshot, /debug/pprof on this HTTP address (empty disables)")
 	flag.Parse()
 
 	if *addr < 1 || *addr >= 0x8000 {
 		log.Fatalf("netcache-server: -addr must be in [1, 32767]")
 	}
 	srv := server.New(server.Config{Addr: netproto.Addr(*addr), Shards: *shards, Engine: *engine})
+
+	if *telemetryAddr != "" {
+		reg := stats.NewRegistry()
+		reg.Register("server", func() any { return &srv.Metrics })
+		reg.Register("server.store", func() any { return srv.StoreStats() })
+		mon := stats.NewMonitor(stats.MonitorConfig{Registry: reg})
+		mon.Start()
+		defer mon.Stop()
+		ts := telemetry.New(telemetry.Config{Registry: reg, Monitor: mon})
+		bound, err := ts.Start(*telemetryAddr)
+		if err != nil {
+			log.Fatalf("netcache-server: %v", err)
+		}
+		defer ts.Close()
+		log.Printf("netcache-server: telemetry on http://%v/metrics", bound)
+	}
 
 	ep, err := udptrans.Dial(*swAddr)
 	if err != nil {

@@ -9,13 +9,23 @@
 // Usage:
 //
 //	netcache-switch -listen 127.0.0.1:9000 [-cache 1024] [-cycle 1s] [-quiet]
+//	                [-telemetry-addr 127.0.0.1:9181]
+//
+// -telemetry-addr serves the live telemetry plane over HTTP: /metrics
+// (Prometheus text: pipeline and controller counters, per-server
+// forwarded-query load as server<addr>.*, and the derived balance.*
+// analytics over it), /snapshot (JSON with windowed rates), /debug/pprof.
+// See DESIGN.md §13.
 package main
 
 import (
 	"flag"
 	"log"
 
+	"netcache/internal/balance"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
+	"netcache/internal/telemetry"
 	"netcache/internal/udptrans"
 )
 
@@ -25,6 +35,7 @@ func main() {
 	cycle := flag.Duration("cycle", 0, "controller cycle period (0 = 1s)")
 	paper := flag.Bool("paper", false, "use the paper-scale 64K-item program")
 	quiet := flag.Bool("quiet", false, "suppress operational logging")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /snapshot, /debug/pprof on this HTTP address (empty disables)")
 	flag.Parse()
 
 	cfg := udptrans.SwitchConfig{
@@ -38,9 +49,35 @@ func main() {
 	if !*quiet {
 		cfg.Logf = log.Printf
 	}
+	var reg *stats.Registry
+	if *telemetryAddr != "" {
+		// Handed to the daemon so it can register one server<addr> source
+		// per learned storage server (forwarded-query load), which the
+		// balance.* analytics below aggregate.
+		reg = stats.NewRegistry()
+		cfg.Registry = reg
+	}
 	d, err := udptrans.NewSwitch(cfg)
 	if err != nil {
 		log.Fatalf("netcache-switch: %v", err)
+	}
+	if reg != nil {
+		reg.Register("switch", func() any {
+			c := d.Switch().Pipeline().Stats()
+			return &c
+		})
+		reg.Register("controller", func() any { return &d.Controller().Metrics })
+		balance.RegisterOn(reg)
+		mon := stats.NewMonitor(stats.MonitorConfig{Registry: reg})
+		mon.Start()
+		defer mon.Stop()
+		ts := telemetry.New(telemetry.Config{Registry: reg, Monitor: mon})
+		bound, err := ts.Start(*telemetryAddr)
+		if err != nil {
+			log.Fatalf("netcache-switch: %v", err)
+		}
+		defer ts.Close()
+		log.Printf("netcache-switch: telemetry on http://%v/metrics", bound)
 	}
 	rep := d.Switch().ResourceReport()
 	log.Printf("netcache-switch: listening on %v, pipeline compiled (%.1f%% SRAM)",

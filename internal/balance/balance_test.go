@@ -1,0 +1,153 @@
+package balance
+
+import (
+	"math"
+	"testing"
+
+	"netcache/internal/netproto"
+	"netcache/internal/stats"
+	"netcache/internal/workload"
+)
+
+func snapWith(counters map[string]uint64) stats.Snapshot {
+	return stats.Snapshot{Counters: counters}
+}
+
+func TestFromSnapshotSingleRack(t *testing.T) {
+	rep := FromSnapshot(snapWith(map[string]uint64{
+		"server0.gets":    700,
+		"server0.puts":    100,
+		"server1.gets":    100,
+		"server1.deletes": 100,
+		"server2.gets":    100,
+		"server3.gets":    100,
+		// Decoys that must not count as server load:
+		"server0.store.items":        5000,
+		"server0.replicates_sent":    123,
+		"switch.rx_packets":          9999,
+		"client0.sent":               4242,
+		"switch.mirrored":            800,
+		"controller.inserts":         64,
+		"controller.evictions":       14,
+		"controller.rejected_colder": 3,
+	}))
+	if rep == nil {
+		t.Fatal("nil report for a populated snapshot")
+	}
+	if rep.Servers != 4 {
+		t.Fatalf("servers = %d, want 4", rep.Servers)
+	}
+	if rep.ServerOps != 1200 {
+		t.Errorf("server ops = %d, want 1200", rep.ServerOps)
+	}
+	// Loads: 800, 200, 100, 100. Mean 300 → imbalance 800/300.
+	if want := 800.0 / 300.0; math.Abs(rep.ImbalanceRatio-want) > 1e-9 {
+		t.Errorf("imbalance = %g, want %g", rep.ImbalanceRatio, want)
+	}
+	if want := 800.0 / 1200.0; math.Abs(rep.MaxShare-want) > 1e-9 {
+		t.Errorf("max share = %g, want %g", rep.MaxShare, want)
+	}
+	// Reads: 800 mirrored + 1000 server gets → hit ratio 800/1800.
+	if want := 800.0 / 1800.0; math.Abs(rep.CacheHitRatio-want) > 1e-9 {
+		t.Errorf("hit ratio = %g, want %g", rep.CacheHitRatio, want)
+	}
+	if rep.CacheInserts != 64 || rep.CacheEvictions != 14 || rep.CacheEntries != 50 {
+		t.Errorf("churn = %d/%d/%d, want 64/14/50",
+			rep.CacheInserts, rep.CacheEvictions, rep.CacheEntries)
+	}
+	if len(rep.Shares) != 4 {
+		t.Fatalf("shares = %v, want 4 entries", rep.Shares)
+	}
+	// Shares follow sorted server-name order: server0, server1, ...
+	if math.Abs(rep.Shares[0]-800.0/1200.0) > 1e-9 {
+		t.Errorf("share[0] = %g, want server0's 2/3", rep.Shares[0])
+	}
+}
+
+func TestFromSnapshotLeafSpinePrefixes(t *testing.T) {
+	rep := FromSnapshot(snapWith(map[string]uint64{
+		"tor0.server0.gets":        100,
+		"tor0.server1.gets":        100,
+		"tor1.server0.gets":        100,
+		"tor1.server1.gets":        100,
+		"tor0.switch.mirrored":     50,
+		"tor1.switch.mirrored":     50,
+		"spine.switch.mirrored":    300,
+		"tor0.controller.inserts":  4,
+		"spine.controller.inserts": 8,
+	}))
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+	if rep.Servers != 4 {
+		t.Fatalf("servers = %d, want 4 across racks", rep.Servers)
+	}
+	if rep.CacheHits != 400 {
+		t.Errorf("cache hits = %d, want 400 summed across tiers", rep.CacheHits)
+	}
+	if rep.CacheInserts != 12 {
+		t.Errorf("inserts = %d, want 12 summed across tiers", rep.CacheInserts)
+	}
+	if math.Abs(rep.ImbalanceRatio-1.0) > 1e-9 {
+		t.Errorf("imbalance = %g, want 1.0 for even load", rep.ImbalanceRatio)
+	}
+	if rep.Gini > 1e-9 {
+		t.Errorf("gini = %g, want 0 for even load", rep.Gini)
+	}
+}
+
+func TestFromSnapshotEmpty(t *testing.T) {
+	if rep := FromSnapshot(snapWith(map[string]uint64{"client0.sent": 9})); rep != nil {
+		t.Errorf("report without server counters = %+v, want nil", rep)
+	}
+	rep := FromSnapshot(snapWith(map[string]uint64{"server0.gets": 0, "server1.gets": 0}))
+	if rep == nil {
+		t.Fatal("zero-traffic snapshot should still report topology")
+	}
+	if rep.ImbalanceRatio != 0 || rep.ServerOps != 0 {
+		t.Errorf("zero traffic: imbalance %g ops %d, want 0 0", rep.ImbalanceRatio, rep.ServerOps)
+	}
+}
+
+func TestRegisterOnDerived(t *testing.T) {
+	type srvMetrics struct{ Gets, Puts, Deletes stats.Counter }
+	a, b := &srvMetrics{}, &srvMetrics{}
+	a.Gets.Add(300)
+	b.Gets.Add(100)
+	reg := stats.NewRegistry()
+	reg.Register("server0", func() any { return a })
+	reg.Register("server1", func() any { return b })
+	RegisterOn(reg)
+	snap := reg.Snapshot()
+	if got := snap.Gauges["balance.imbalance_ratio"]; math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("balance.imbalance_ratio = %g, want 1.5 (300 vs mean 200)", got)
+	}
+	if got := snap.Counters["balance.server_ops"]; got != 400 {
+		t.Errorf("balance.server_ops = %d, want 400", got)
+	}
+	if got := snap.Gauges["balance.shares.0"]; math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("balance.shares.0 = %g, want 0.75", got)
+	}
+}
+
+func TestAuditPrecisionRecall(t *testing.T) {
+	key := workload.KeyName
+	truth := []netproto.Key{key(0), key(1), key(2), key(3)}
+	reported := []netproto.Key{key(0), key(1), key(7), key(8), key(9)}
+	p, r := Audit(reported, truth)
+	if math.Abs(p-0.4) > 1e-9 {
+		t.Errorf("precision = %g, want 0.4 (2 of 5 reported are hot)", p)
+	}
+	if math.Abs(r-0.5) > 1e-9 {
+		t.Errorf("recall = %g, want 0.5 (2 of 4 hot keys reported)", r)
+	}
+	if p, r := Audit(nil, truth); p != 0 || r != 0 {
+		t.Errorf("empty reported: %g/%g, want 0/0", p, r)
+	}
+	if p, r := Audit(reported, nil); p != 0 || r != 0 {
+		t.Errorf("empty truth: %g/%g, want 0/0", p, r)
+	}
+	if p, r := Audit(truth, truth); p != 1 || r != 1 {
+		t.Errorf("perfect report: %g/%g, want 1/1", p, r)
+	}
+}

@@ -142,6 +142,7 @@ func Experiments() []Experiment {
 		{"chaosbench", "Rack throughput under fault injection", ChaosBench},
 		{"multirack", "Leaf-spine fabric throughput under uplink fault injection", MultiRackBench},
 		{"failover", "Replicated tier: detection, failover and failback latency", FailoverBench},
+		{"balance", "Load balance analytics: per-server load with the cache on vs off", BalanceBench},
 	}
 	return append(builtin, extra...)
 }

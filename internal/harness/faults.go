@@ -13,6 +13,7 @@ import (
 	"netcache/internal/rack"
 	"netcache/internal/simnet"
 	"netcache/internal/stats"
+	"netcache/internal/telemetry"
 	"netcache/internal/workload"
 )
 
@@ -48,11 +49,19 @@ var ChaosPolicy = client.Policy{Seed: 1}
 // Overridden by the netcache-bench -window flag.
 var ChaosWindow = 32
 
-// StatsEvery, when nonzero, makes chaosbench dump a full rack observability
-// snapshot (every component counter + client latency histograms) as one
-// JSON line to stderr on this period while a row runs. Overridden by the
-// netcache-bench -stats-every flag.
+// StatsEvery, when nonzero, makes chaosbench dump one stats.Monitor window
+// (per-counter deltas and rates plus interval histogram quantiles over the
+// period, not lifetime totals) as a "SNAPSHOT <json>" line to stderr on
+// this period while a row runs. Overridden by the netcache-bench
+// -stats-every flag; the line format is documented in EXPERIMENTS.md.
 var StatsEvery time.Duration
+
+// Telemetry, when non-nil, is the HTTP telemetry server the packet-level
+// experiments retarget at each row's rack: the registry, windowed monitor
+// and (when tracing is on) the qtrace ring of the row currently running
+// become scrapable at /metrics, /snapshot and /trace. Set by the
+// netcache-bench -telemetry-addr flag.
+var Telemetry *telemetry.Server
 
 // ChaosTrace, when nonzero, enables query tracing during chaosbench rows
 // with a ring of this many records; the tail of the ring is dumped to
@@ -78,12 +87,13 @@ func ChaosBench(quick bool) (*Table, error) {
 	}
 	t := &Table{
 		ID: "chaosbench", Title: "packet-level rack throughput under fault injection (4 servers, 2 clients, zipf-0.95 reads, 10% writes)",
-		Columns: []string{"adaptive", "window", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "timeout_pct", "retx_pct", "p50_us", "p99_us", "max_us"},
+		Columns: []string{"adaptive", "window", "loss", "dup", "reorder", "corrupt", "reboots", "kops_s", "hit_pct", "imb", "timeout_pct", "retx_pct", "p50_us", "p99_us", "max_us"},
 		Notes: []string{
 			"rates are per-frame fault probabilities on server downlinks and client uplinks;",
 			"adaptive=0 waits a fixed 2ms per attempt, adaptive=1 uses the RTT-estimated RTO with backoff;",
 			"window>1 pipelines reads through GetBatch with that many outstanding (writes flush the window);",
 			"kops_s: completed client ops per wall second; retx_pct: client retransmissions per op;",
+			"hit_pct: reads answered by the switch cache; imb: max/mean per-server load (balance.* analytics);",
 			"p50/p99/max_us: end-to-end successful GET latency merged across clients, microseconds",
 		},
 	}
@@ -110,7 +120,7 @@ func ChaosBench(quick bool) (*Table, error) {
 			adaptive = 0
 		}
 		t.Add(adaptive, float64(row.window), row.p.Loss, row.p.Dup, row.p.Reorder, row.p.Corrupt,
-			float64(res.reboots), res.kops, res.timeoutPct, res.retxPct,
+			float64(res.reboots), res.kops, res.hitPct, res.imb, res.timeoutPct, res.retxPct,
 			res.p50us, res.p99us, res.maxus)
 	}
 	return t, nil
@@ -119,6 +129,7 @@ func ChaosBench(quick bool) (*Table, error) {
 // chaosResult is one chaosbench row's measurements.
 type chaosResult struct {
 	kops, timeoutPct, retxPct float64
+	hitPct, imb               float64
 	p50us, p99us, maxus       float64
 	reboots                   int
 }
@@ -155,9 +166,26 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 	if ChaosTrace > 0 {
 		ring = r.EnableTrace(ChaosTrace)
 	}
-	if StatsEvery > 0 {
-		stop := dumpSnapshots(r, StatsEvery)
+	var mon *stats.Monitor
+	if StatsEvery > 0 || Telemetry != nil {
+		mon = stats.NewMonitor(stats.MonitorConfig{Registry: r.Registry(), Interval: StatsEvery})
+	}
+	if Telemetry != nil {
+		// Retarget the live HTTP plane at this row's rack; scrapes during
+		// the row see its counters, windows and trace ring.
+		Telemetry.SetRegistry(r.Registry())
+		Telemetry.SetMonitor(mon)
+		Telemetry.SetTrace(ring)
+	}
+	switch {
+	case StatsEvery > 0:
+		stop := dumpSnapshots(mon, StatsEvery)
 		defer stop()
+	case mon != nil:
+		// Telemetry without -stats-every: advance windows quietly so
+		// /snapshot and the rate gauges stay fresh.
+		mon.Start()
+		defer mon.Stop()
 	}
 
 	if p.faulty() {
@@ -259,19 +287,28 @@ func runChaosBench(p FaultParams, totalOps int, policy client.Policy, window int
 	res.p99us = merged.Quantile(0.99) / 1e3
 	res.maxus = merged.Max() / 1e3
 
+	// The derived balance.* source turns the rack snapshot into load
+	// analytics; chaosbench surfaces the two headline numbers per row.
+	snap := r.Snapshot()
+	res.hitPct = 100 * snap.Gauges["balance.cache_hit_ratio"]
+	res.imb = snap.Gauges["balance.imbalance_ratio"]
+
 	if ring != nil {
 		dumpTraceTail(ring, 20)
 	}
 	return res, nil
 }
 
-// dumpSnapshots starts a goroutine emitting one JSON rack snapshot per
+// dumpSnapshots starts a goroutine emitting one stats.Monitor window per
 // period to stderr ("SNAPSHOT <json>" lines, greppable out of bench
-// output). The returned stop function halts it and emits one final
-// snapshot, so even a run shorter than the period yields one.
-func dumpSnapshots(r *rack.Rack, period time.Duration) (stop func()) {
+// output). Each line is one windowed measurement — per-counter deltas and
+// per-second rates over the period plus interval histogram quantiles —
+// not lifetime totals, so consecutive lines are directly comparable. The
+// returned stop function halts it and emits one final window, so even a
+// run shorter than the period yields one.
+func dumpSnapshots(mon *stats.Monitor, period time.Duration) (stop func()) {
 	emit := func() {
-		if b, err := json.Marshal(r.Snapshot()); err == nil {
+		if b, err := json.Marshal(mon.Poll()); err == nil {
 			fmt.Fprintf(os.Stderr, "SNAPSHOT %s\n", b)
 		}
 	}

@@ -466,3 +466,42 @@ func TestXValModelAgreesWithPackets(t *testing.T) {
 		t.Errorf("packet speedup %.1fx vs model %.1fx: disagreement beyond tolerance", pkt, model)
 	}
 }
+
+// TestBalanceBenchFlattensLoad asserts the paper's headline balance claim
+// end-to-end at the packet level: under a zipf-0.99 read workload, the
+// per-server load imbalance with the cache enabled is materially lower
+// than with it disabled (§6, Fig. 10b — the cache absorbs the zipf head).
+func TestBalanceBenchFlattensLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("packet-level experiment in -short mode")
+	}
+	exp, ok := harness.Lookup("balance")
+	if !ok {
+		t.Fatal("balance experiment not registered")
+	}
+	tb, err := exp.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("balance table has %d rows, want cache-off and cache-on", len(tb.Rows))
+	}
+	imb, hit := tb.Col("imbalance"), tb.Col("hit_pct")
+	off, on := imb[0], imb[1]
+	if off < 1.3 {
+		t.Errorf("cache-off imbalance %.3f: zipf-0.99 should skew server load well above 1.3", off)
+	}
+	if on >= off/1.15 {
+		t.Errorf("cache-on imbalance %.3f not materially below cache-off %.3f", on, off)
+	}
+	if hit[0] != 0 {
+		t.Errorf("cache-off hit rate %.1f%%, want 0 (nothing is ever promoted)", hit[0])
+	}
+	if hit[1] < 20 {
+		t.Errorf("cache-on hit rate %.1f%%, want a large zipf-head fraction", hit[1])
+	}
+	// The audit confirms the sketch found (mostly) the true hot set.
+	if rec := tb.Col("recall")[1]; rec < 0.5 {
+		t.Errorf("cache-on hot-set recall %.2f, want most of the true top-k cached", rec)
+	}
+}

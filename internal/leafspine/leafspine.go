@@ -42,6 +42,7 @@ import (
 	"strings"
 	"time"
 
+	"netcache/internal/balance"
 	"netcache/internal/client"
 	"netcache/internal/controller"
 	"netcache/internal/fabric"
@@ -296,8 +297,15 @@ func New(cfg Config) (*Fabric, error) {
 		m := &cl.Metrics
 		f.registry.Register(fmt.Sprintf("client%d", i), func() any { return m })
 	}
+	// Fabric-wide balance analytics: per-server load shares across every
+	// rack, cache hits summed over the spine and ToR tiers.
+	balance.RegisterOn(f.registry)
 	return f, nil
 }
+
+// Registry exposes the fabric's metric registry — the handle the telemetry
+// plane (stats.Monitor, internal/telemetry's HTTP endpoints) attaches to.
+func (f *Fabric) Registry() *stats.Registry { return f.registry }
 
 // Snapshot collects every component counter and client latency histogram
 // across both tiers into one named view: "spine.switch.*", "spine.net.*",

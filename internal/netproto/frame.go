@@ -41,6 +41,11 @@ const nodeAliasBit Addr = 0x4000
 // and never flipped.
 func NodeAlias(a Addr) Addr { return a | nodeAliasBit }
 
+// IsServerHome reports whether a is a server home address under the rack
+// addressing convention above: servers occupy the small positive integers
+// below the alias range, clients start at 0x8000.
+func (a Addr) IsServerHome() bool { return a > 0 && a < nodeAliasBit }
+
 // FrameHeaderSize is the encoded size of the frame header:
 // DST(2) SRC(2) CKSUM(4).
 const FrameHeaderSize = 8

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"netcache/internal/balance"
 	"netcache/internal/client"
 	"netcache/internal/controller"
 	"netcache/internal/fabric"
@@ -209,8 +210,16 @@ func New(cfg Config) (*Rack, error) {
 		m := &cl.Metrics
 		r.registry.Register(fmt.Sprintf("client%d", i), func() any { return m })
 	}
+	// Balance analytics ride as a derived source: every snapshot carries
+	// flat balance.* metrics (per-server load shares, imbalance ratios,
+	// cache hit ratio, churn counters) computed over the component view.
+	balance.RegisterOn(r.registry)
 	return r, nil
 }
+
+// Registry exposes the rack's metric registry — the handle the telemetry
+// plane (stats.Monitor, internal/telemetry's HTTP endpoints) attaches to.
+func (r *Rack) Registry() *stats.Registry { return r.registry }
 
 // Snapshot collects every component counter and client latency histogram
 // into one named view: "switch.*" (pipeline counters), "net.*" (simnet

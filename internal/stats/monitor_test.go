@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonitorWindowDeltasAndRates(t *testing.T) {
+	m := &fakeMetrics{GetLatency: NewLatencyHistogram()}
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+	mon := NewMonitor(MonitorConfig{Registry: reg})
+
+	m.Sent.Add(100)
+	m.GetLatency.Observe(1000)
+	w1 := mon.Poll()
+	if got := w1.Deltas["c.sent"]; got != 100 {
+		t.Fatalf("first window delta = %d, want the absolute value 100", got)
+	}
+	if w1.Hists["c.get_latency"].Count != 1 {
+		t.Fatalf("first window hist count = %d, want 1", w1.Hists["c.get_latency"].Count)
+	}
+
+	m.Sent.Add(50)
+	m.GetLatency.Observe(2000)
+	m.GetLatency.Observe(2000)
+	w2 := mon.Poll()
+	if got := w2.Deltas["c.sent"]; got != 50 {
+		t.Errorf("second window delta = %d, want 50", got)
+	}
+	if got := w2.Hists["c.get_latency"].Count; got != 2 {
+		t.Errorf("second window hist count = %d, want the interval's 2", got)
+	}
+	if rate, secs := w2.Rates["c.sent"], w2.Duration().Seconds(); secs > 0 {
+		want := 50 / secs
+		if rate < want*0.99 || rate > want*1.01 {
+			t.Errorf("rate = %g, want ~%g over %v", rate, want, w2.Duration())
+		}
+	}
+	if w2.Seq != w1.Seq+1 {
+		t.Errorf("seq = %d after %d, want consecutive", w2.Seq, w1.Seq)
+	}
+	if !w2.Start.Equal(w1.End) {
+		t.Errorf("window gap: w1 ends %v, w2 starts %v", w1.End, w2.Start)
+	}
+
+	// An idle window reports zero deltas, not repeats.
+	w3 := mon.Poll()
+	if got := w3.Deltas["c.sent"]; got != 0 {
+		t.Errorf("idle window delta = %d, want 0", got)
+	}
+	if got := w3.Hists["c.get_latency"].Count; got != 0 {
+		t.Errorf("idle window hist count = %d, want 0", got)
+	}
+}
+
+// A counter that goes backwards (component reset/replaced mid-window) must
+// clamp the window's delta to zero, not wrap to 2^64-ish rates.
+func TestMonitorCounterResetClamps(t *testing.T) {
+	m := &fakeMetrics{}
+	m.Sent.Add(1000)
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+	mon := NewMonitor(MonitorConfig{Registry: reg})
+	mon.Poll()
+
+	*m = fakeMetrics{} // component replaced: counter restarts from zero
+	m.Sent.Add(3)
+	w := mon.Poll()
+	if got := w.Deltas["c.sent"]; got != 0 {
+		t.Errorf("reset counter delta = %d, want clamped 0", got)
+	}
+	// The window after the reset resumes normal deltas from the new base.
+	m.Sent.Add(7)
+	if got := mon.Poll().Deltas["c.sent"]; got != 7 {
+		t.Errorf("post-reset delta = %d, want 7", got)
+	}
+}
+
+func TestMonitorRingBounded(t *testing.T) {
+	reg := NewRegistry()
+	c := &fakeMetrics{}
+	reg.Register("c", func() any { return c })
+	mon := NewMonitor(MonitorConfig{Registry: reg, Windows: 3})
+	for i := 0; i < 5; i++ {
+		c.Sent.Inc()
+		mon.Poll()
+	}
+	ws := mon.Windows()
+	if len(ws) != 3 {
+		t.Fatalf("ring holds %d windows, want 3", len(ws))
+	}
+	if ws[0].Seq != 3 || ws[1].Seq != 4 || ws[2].Seq != 5 {
+		t.Errorf("windows = seq %d,%d,%d, want oldest-first 3,4,5", ws[0].Seq, ws[1].Seq, ws[2].Seq)
+	}
+	last, ok := mon.Last()
+	if !ok || last.Seq != 5 {
+		t.Errorf("Last() = %d (ok=%v), want 5", last.Seq, ok)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := &fakeMetrics{}
+	reg.Register("c", func() any { return c })
+	mon := NewMonitor(MonitorConfig{Registry: reg, Interval: time.Millisecond, Windows: 16})
+	mon.Start()
+	mon.Start() // idempotent
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, ok := mon.Last(); ok || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mon.Stop()
+	mon.Stop() // idempotent
+	if _, ok := mon.Last(); !ok {
+		t.Fatal("ticker produced no windows within 2s")
+	}
+	n := len(mon.Windows())
+	time.Sleep(5 * time.Millisecond)
+	if got := len(mon.Windows()); got != n {
+		t.Errorf("windows kept arriving after Stop: %d -> %d", n, got)
+	}
+}
+
+// Poll racing a concurrent Poll/traffic must stay consistent (run with
+// -race); deltas across windows still account for every increment.
+func TestMonitorConcurrentPoll(t *testing.T) {
+	reg := NewRegistry()
+	c := &fakeMetrics{}
+	reg.Register("c", func() any { return c })
+	mon := NewMonitor(MonitorConfig{Registry: reg, Windows: 64})
+
+	const incs = 10000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < incs; i++ {
+			c.Sent.Inc()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			mon.Poll()
+		}
+	}()
+	wg.Wait()
+	final := mon.Poll()
+	var total uint64
+	for _, w := range mon.Windows() {
+		total += w.Deltas["c.sent"]
+	}
+	_ = final
+	if total != incs {
+		t.Errorf("summed deltas = %d, want %d (each increment in exactly one window)", total, incs)
+	}
+}
+
+func TestWindowJSON(t *testing.T) {
+	m := &fakeMetrics{GetLatency: NewLatencyHistogram()}
+	m.Sent.Add(2)
+	m.GetLatency.Observe(1500)
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+	mon := NewMonitor(MonitorConfig{Registry: reg})
+	raw, err := json.Marshal(mon.Poll())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Window
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Deltas["c.sent"] != 2 || back.Hists["c.get_latency"].Count != 1 {
+		t.Errorf("round-tripped window = %s", raw)
+	}
+}

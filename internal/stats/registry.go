@@ -21,12 +21,16 @@ type HistStat struct {
 }
 
 // Snapshot is one consistent-enough view of every registered metric source:
-// flat dotted names to counter values and histogram summaries. Counters are
-// read individually (each is atomic) so a snapshot taken during traffic is
-// per-counter accurate but not globally instantaneous — the same contract a
-// Prometheus scrape offers.
+// flat dotted names to counter values, gauge readings and histogram
+// summaries. Counters are read individually (each is atomic) so a snapshot
+// taken during traffic is per-counter accurate but not globally
+// instantaneous — the same contract a Prometheus scrape offers.
 type Snapshot struct {
-	Counters   map[string]uint64   `json:"counters"`
+	Counters map[string]uint64 `json:"counters"`
+	// Gauges are instantaneous float readings (ratios, shares) — sourced
+	// from float fields of registered structs. Unlike counters they may go
+	// down, so windowed monitors report their level, not a rate.
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
 	Histograms map[string]HistStat `json:"histograms,omitempty"`
 }
 
@@ -35,6 +39,16 @@ type Snapshot struct {
 func (s Snapshot) Keys() []string {
 	keys := make([]string, 0, len(s.Counters))
 	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// GaugeKeys returns the gauge names in sorted order.
+func (s Snapshot) GaugeKeys() []string {
+	keys := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
@@ -51,9 +65,36 @@ func (s Snapshot) HistKeys() []string {
 	return keys
 }
 
+// Collection is the raw form of a snapshot: counters and gauges as in
+// Snapshot, but histograms as full cloned Histogram objects, so a later
+// Collection can be bucket-subtracted from it for interval quantiles (the
+// Monitor's window math). Histogram clones are independent copies — safe to
+// keep across windows while the sources keep observing.
+type Collection struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]*Histogram
+}
+
+// Summarize reduces the collection to the JSON-ready Snapshot form.
+func (c Collection) Summarize() Snapshot {
+	snap := Snapshot{
+		Counters:   c.Counters,
+		Gauges:     c.Gauges,
+		Histograms: make(map[string]HistStat, len(c.Histograms)),
+	}
+	for k, h := range c.Histograms {
+		snap.Histograms[k] = summarize(h)
+	}
+	return snap
+}
+
 type source struct {
 	name string
 	get  func() any
+	// derived sources are resolved after the plain ones, with the plain
+	// snapshot as input — analytics computed over the raw metrics.
+	derived func(Snapshot) any
 }
 
 // Registry aggregates metric sources into named snapshots. Components
@@ -71,34 +112,68 @@ func NewRegistry() *Registry { return &Registry{} }
 // Register adds a named metric source. get is invoked at each Snapshot and
 // may return:
 //   - a pointer to a struct: exported fields are walked recursively
-//     (Counter, *Histogram, uint64/int kinds, []uint64, nested structs);
+//     (Counter, *Histogram, uint64/int kinds, float kinds, []uint64,
+//     []float64, nested structs);
 //   - *Counter or *Histogram directly;
 //   - nil, to skip the source this round (e.g. a component that is down).
 //
 // Field names are flattened to snake_case and joined with dots under name.
+// Unsigned and non-negative signed integer fields become counters; float
+// fields become gauges. If two sources (or two fields across sources)
+// flatten to the same metric name, the later-registered source wins —
+// sources are collected in registration order into one flat namespace.
 func (r *Registry) Register(name string, get func() any) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.sources = append(r.sources, source{name: name, get: get})
 }
 
-// Snapshot resolves every source and collects its metrics.
-func (r *Registry) Snapshot() Snapshot {
+// RegisterDerived adds a source computed *from* the snapshot of all plain
+// sources: get receives the summarized base snapshot and returns a value
+// collected like a Register getter. Derived sources see each other's input
+// but not each other's output, and resolve in registration order. Use for
+// analytics (load balance, ratios) that aggregate over many components.
+func (r *Registry) RegisterDerived(name string, get func(Snapshot) any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sources = append(r.sources, source{name: name, derived: get})
+}
+
+// Snapshot resolves every source and collects its metrics, histograms
+// reduced to their summaries.
+func (r *Registry) Snapshot() Snapshot { return r.Collect().Summarize() }
+
+// Collect resolves every source and returns the raw collection, histograms
+// as independent clones (see Collection).
+func (r *Registry) Collect() Collection {
 	r.mu.Lock()
 	srcs := append([]source(nil), r.sources...)
 	r.mu.Unlock()
-	snap := Snapshot{
+	col := Collection{
 		Counters:   make(map[string]uint64),
-		Histograms: make(map[string]HistStat),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]*Histogram),
 	}
+	var derived []source
 	for _, s := range srcs {
-		v := s.get()
-		if v == nil {
+		if s.derived != nil {
+			derived = append(derived, s)
 			continue
 		}
-		collect(&snap, s.name, reflect.ValueOf(v))
+		if v := s.get(); v != nil {
+			collect(&col, s.name, reflect.ValueOf(v))
+		}
 	}
-	return snap
+	if len(derived) == 0 {
+		return col
+	}
+	base := col.Summarize()
+	for _, s := range derived {
+		if v := s.derived(base); v != nil {
+			collect(&col, s.name, reflect.ValueOf(v))
+		}
+	}
+	return col
 }
 
 var (
@@ -107,7 +182,7 @@ var (
 )
 
 // collect walks v and records every metric it finds under the given prefix.
-func collect(snap *Snapshot, name string, v reflect.Value) {
+func collect(col *Collection, name string, v reflect.Value) {
 	switch v.Kind() {
 	case reflect.Pointer, reflect.Interface:
 		if v.IsNil() {
@@ -116,21 +191,21 @@ func collect(snap *Snapshot, name string, v reflect.Value) {
 		if v.Kind() == reflect.Pointer {
 			switch v.Type().Elem() {
 			case counterType:
-				snap.Counters[name] = v.Interface().(*Counter).Value()
+				col.Counters[name] = v.Interface().(*Counter).Value()
 				return
 			case histogramType:
-				snap.Histograms[name] = summarize(v.Interface().(*Histogram))
+				col.Histograms[name] = v.Interface().(*Histogram).Clone()
 				return
 			}
 		}
-		collect(snap, name, v.Elem())
+		collect(col, name, v.Elem())
 	case reflect.Struct:
 		if v.Type() == counterType {
 			// A Counter reached by value (unaddressable copy) would race
 			// with writers; metric sources must hand out pointers. Walk via
 			// Addr when possible, else read the copied atomic once.
 			if v.CanAddr() {
-				snap.Counters[name] = v.Addr().Interface().(*Counter).Value()
+				col.Counters[name] = v.Addr().Interface().(*Counter).Value()
 			}
 			return
 		}
@@ -140,20 +215,22 @@ func collect(snap *Snapshot, name string, v reflect.Value) {
 			if !f.IsExported() {
 				continue
 			}
-			collect(snap, name+"."+snakeCase(f.Name), v.Field(i))
+			collect(col, name+"."+snakeCase(f.Name), v.Field(i))
 		}
 	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
-		snap.Counters[name] = v.Uint()
+		col.Counters[name] = v.Uint()
 	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
 		if n := v.Int(); n >= 0 {
-			snap.Counters[name] = uint64(n)
+			col.Counters[name] = uint64(n)
 		}
+	case reflect.Float32, reflect.Float64:
+		col.Gauges[name] = v.Float()
 	case reflect.Slice, reflect.Array:
-		// Per-index expansion for small counter vectors (e.g. per-pipe
-		// egress counts). Non-numeric element types are skipped above by
-		// the recursive kind switch.
+		// Per-index expansion for small counter/gauge vectors (e.g.
+		// per-pipe egress counts, per-server load shares). Non-numeric
+		// element types are skipped above by the recursive kind switch.
 		for i := 0; i < v.Len(); i++ {
-			collect(snap, fmt.Sprintf("%s.%d", name, i), v.Index(i))
+			collect(col, fmt.Sprintf("%s.%d", name, i), v.Index(i))
 		}
 	}
 }

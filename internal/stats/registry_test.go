@@ -129,3 +129,162 @@ func TestSnakeCase(t *testing.T) {
 		}
 	}
 }
+
+// Satellite coverage: collection edge cases the reflective walker must get
+// right — acronym snake_casing at field boundaries, nil and replaced
+// sources, pointers to nested structs, and duplicate metric names.
+
+type acronymMetrics struct {
+	RTO        Counter
+	SRTTNanos  Counter
+	HTTPServed Counter
+	IDReuse    Counter
+}
+
+func TestRegistryAcronymSnakeCasing(t *testing.T) {
+	m := &acronymMetrics{}
+	m.RTO.Add(1)
+	m.SRTTNanos.Add(2)
+	m.HTTPServed.Add(3)
+	m.IDReuse.Add(4)
+	reg := NewRegistry()
+	reg.Register("x", func() any { return m })
+	snap := reg.Snapshot()
+	want := map[string]uint64{
+		"x.rto":         1,
+		"x.srtt_nanos":  2,
+		"x.http_served": 3,
+		"x.id_reuse":    4,
+	}
+	for k, v := range want {
+		if got := snap.Counters[k]; got != v {
+			t.Errorf("Counters[%q] = %d, want %d (have %v)", k, got, v, snap.Keys())
+		}
+	}
+}
+
+type nestedInner struct {
+	Deep  Counter
+	Share float64
+}
+
+type nestedOuter struct {
+	Inner    *nestedInner // pointer to nested struct: walked through
+	NilInner *nestedInner // nil pointer: skipped without panicking
+	Ratio    float64
+}
+
+func TestRegistryNestedStructPointersAndGauges(t *testing.T) {
+	o := &nestedOuter{Inner: &nestedInner{Share: 0.25}, Ratio: 1.5}
+	o.Inner.Deep.Add(9)
+	reg := NewRegistry()
+	reg.Register("n", func() any { return o })
+	snap := reg.Snapshot()
+	if got := snap.Counters["n.inner.deep"]; got != 9 {
+		t.Errorf("nested pointer counter = %d, want 9 (have %v)", got, snap.Keys())
+	}
+	if got := snap.Gauges["n.inner.share"]; got != 0.25 {
+		t.Errorf("nested gauge = %g, want 0.25 (have %v)", got, snap.GaugeKeys())
+	}
+	if got := snap.Gauges["n.ratio"]; got != 1.5 {
+		t.Errorf("top-level gauge = %g, want 1.5", got)
+	}
+	if _, ok := snap.Counters["n.nil_inner.deep"]; ok {
+		t.Error("nil nested pointer produced metrics")
+	}
+}
+
+// A source whose getter flips between nil and non-nil (a component going
+// down and coming back) must drop out of the snapshot and rejoin.
+func TestRegistryNilThenReplacedSource(t *testing.T) {
+	var cur *fakeMetrics // nil: component down
+	reg := NewRegistry()
+	reg.Register("c", func() any {
+		if cur == nil {
+			return nil // typed-nil guard: return untyped nil explicitly
+		}
+		return cur
+	})
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Fatalf("down component produced counters: %v", snap.Keys())
+	}
+	cur = &fakeMetrics{}
+	cur.Sent.Add(5)
+	if got := reg.Snapshot().Counters["c.sent"]; got != 5 {
+		t.Errorf("replaced source sent = %d, want 5", got)
+	}
+	cur = nil
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("re-downed component still produces counters: %v", snap.Keys())
+	}
+}
+
+// A typed nil pointer returned through the any interface is non-nil as an
+// interface value; the walker must still treat it as absent.
+func TestRegistryTypedNilSource(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register("t", func() any { var m *fakeMetrics; return m })
+	if snap := reg.Snapshot(); len(snap.Counters) != 0 {
+		t.Errorf("typed-nil source produced counters: %v", snap.Keys())
+	}
+}
+
+// Two sources flattening to the same metric name: collection happens in
+// registration order, so the later registration wins. Pinned behavior —
+// accidental shadowing should at least be deterministic.
+func TestRegistryDuplicateMetricNames(t *testing.T) {
+	a, b := &fakeMetrics{}, &fakeMetrics{}
+	a.Sent.Add(1)
+	b.Sent.Add(2)
+	reg := NewRegistry()
+	reg.Register("dup", func() any { return a })
+	reg.Register("dup", func() any { return b })
+	if got := reg.Snapshot().Counters["dup.sent"]; got != 2 {
+		t.Errorf("duplicate name = %d, want 2 (later registration wins)", got)
+	}
+}
+
+func TestRegistryDerivedSource(t *testing.T) {
+	m := &fakeMetrics{}
+	m.Sent.Add(10)
+	m.Retransmit.Add(4)
+	type derived struct {
+		RetxRatio float64
+		Effective uint64
+	}
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+	reg.RegisterDerived("quality", func(base Snapshot) any {
+		sent := base.Counters["c.sent"]
+		retx := base.Counters["c.retransmit"]
+		if sent == 0 {
+			return nil
+		}
+		return &derived{RetxRatio: float64(retx) / float64(sent), Effective: sent - retx}
+	})
+	snap := reg.Snapshot()
+	if got := snap.Gauges["quality.retx_ratio"]; got != 0.4 {
+		t.Errorf("derived gauge = %g, want 0.4", got)
+	}
+	if got := snap.Counters["quality.effective"]; got != 6 {
+		t.Errorf("derived counter = %d, want 6", got)
+	}
+}
+
+func TestCollectRawHistograms(t *testing.T) {
+	m := &fakeMetrics{GetLatency: NewLatencyHistogram()}
+	m.GetLatency.Observe(1000)
+	reg := NewRegistry()
+	reg.Register("c", func() any { return m })
+	col := reg.Collect()
+	h, ok := col.Histograms["c.get_latency"]
+	if !ok || h.Count() != 1 {
+		t.Fatalf("raw histogram missing or wrong: %v", col.Histograms)
+	}
+	// The collected histogram is a clone: later observations on the live
+	// source must not leak into it.
+	m.GetLatency.Observe(2000)
+	if h.Count() != 1 {
+		t.Error("Collect returned a live histogram pointer, want a clone")
+	}
+}

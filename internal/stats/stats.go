@@ -107,6 +107,13 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.count)
 }
 
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Max returns the largest observed value.
 func (h *Histogram) Max() float64 {
 	h.mu.Lock()
@@ -187,6 +194,86 @@ func (h *Histogram) AddFrom(o *Histogram) {
 	if maxSeen > h.maxSeen {
 		h.maxSeen = maxSeen
 	}
+}
+
+// Clone returns an independent snapshot copy of h (same layout, same
+// contents). The copy is taken under h's lock, so it is a consistent cut;
+// the clone itself is a fully functional histogram.
+func (h *Histogram) Clone() *Histogram {
+	h.mu.Lock()
+	c := &Histogram{
+		min:     h.min,
+		growth:  h.growth,
+		buckets: append([]uint64(nil), h.buckets...),
+		count:   h.count,
+		sum:     h.sum,
+		maxSeen: h.maxSeen,
+	}
+	h.mu.Unlock()
+	c.rejected.Add(h.rejected.Value())
+	return c
+}
+
+// sameLayout reports whether two histograms bucket identically, so their
+// bucket arrays are directly comparable.
+func (h *Histogram) sameLayout(o *Histogram) bool {
+	return h.min == o.min && h.growth == o.growth && len(h.buckets) == len(o.buckets)
+}
+
+// Sub returns the windowed delta h − prev: a histogram holding only the
+// observations recorded after prev was captured, so its quantiles are
+// interval p50/p99 rather than lifetime ones. prev is normally an earlier
+// Clone of the same histogram (the Monitor's use). Rejected counts
+// propagate as the same delta.
+//
+// Robustness over precision at the edges:
+//   - nil prev (or a layout mismatch from a histogram swapped between
+//     windows — different min/growth/bucket count) subtracts nothing: the
+//     bucket arrays are not comparable, so the window restarts from h.
+//   - Underflow (prev ahead of h in any bucket, count, sum or rejected —
+//     the source was Reset mid-window) clamps to zero rather than wrapping.
+//
+// The delta's Max() is h's lifetime max: the bucket layout does not record
+// when the maximum was observed, so the window inherits the lifetime upper
+// bound (quantiles still clamp to it).
+func (h *Histogram) Sub(prev *Histogram) *Histogram {
+	if prev == nil {
+		return h.Clone()
+	}
+	// Snapshot both sides without holding the two locks together.
+	cur := h.Clone()
+	old := prev.Clone()
+	if !cur.sameLayout(old) {
+		return cur
+	}
+	var count uint64
+	for i := range cur.buckets {
+		if cur.buckets[i] >= old.buckets[i] {
+			cur.buckets[i] -= old.buckets[i]
+		} else {
+			cur.buckets[i] = 0
+		}
+		count += cur.buckets[i]
+	}
+	// count is rebuilt from the clamped buckets so the two can never
+	// disagree after an underflow.
+	cur.count = count
+	if cur.sum >= old.sum {
+		cur.sum -= old.sum
+	} else {
+		cur.sum = 0
+	}
+	if count == 0 {
+		cur.sum, cur.maxSeen = 0, 0
+	}
+	if d := old.rejected.Value(); d > 0 {
+		if have := cur.rejected.Value(); have >= d {
+			cur.rejected.n.Store(have - d)
+		} else {
+			cur.rejected.n.Store(0)
+		}
+	}
+	return cur
 }
 
 // Summary renders count/mean/p50/p99/max, treating values as nanoseconds.

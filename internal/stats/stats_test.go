@@ -313,3 +313,118 @@ func TestHistogramAddFrom(t *testing.T) {
 		t.Errorf("Count after self/nil merge = %d, want 200", got)
 	}
 }
+
+func TestHistogramClone(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	h.Observe(1)
+	h.Observe(4)
+	h.Observe(-1)
+	c := h.Clone()
+	if c.Count() != 2 || c.Mean() != 2.5 || c.Max() != 4 || c.Rejected() != 1 {
+		t.Fatalf("clone = %s rejected=%d, want the original's state", c.Summary(), c.Rejected())
+	}
+	// The clone is independent: new observations on either side stay there.
+	h.Observe(8)
+	c.Observe(2)
+	if h.Count() != 3 || c.Count() != 3 || h.Max() != 8 || c.Max() != 4 {
+		t.Errorf("clone not independent: h=%s c=%s", h.Summary(), c.Summary())
+	}
+}
+
+func TestHistogramSubWindow(t *testing.T) {
+	h := NewHistogram(1, 2, 16)
+	h.Observe(1)
+	h.Observe(1000)
+	prev := h.Clone()
+	// The window's observations: a tight cluster at 4.
+	for i := 0; i < 100; i++ {
+		h.Observe(4)
+	}
+	d := h.Sub(prev)
+	if d.Count() != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count())
+	}
+	if got := d.Mean(); got != 4 {
+		t.Errorf("delta mean = %g, want 4 (lifetime mean would be polluted by 1 and 1000)", got)
+	}
+	// Interval p50 must reflect only the window, not the lifetime outlier
+	// at 1000. Bucket midpoint estimation allows one growth factor of slop.
+	if p50 := d.Quantile(0.5); p50 > 8 {
+		t.Errorf("interval p50 = %g, want ~4 (lifetime p50 would see the outliers)", p50)
+	}
+	// The original is untouched.
+	if h.Count() != 102 {
+		t.Errorf("Sub mutated the source: count = %d, want 102", h.Count())
+	}
+}
+
+func TestHistogramSubNilAndSelf(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	h.Observe(2)
+	if d := h.Sub(nil); d.Count() != 1 {
+		t.Errorf("Sub(nil) count = %d, want full copy (1)", d.Count())
+	}
+	if d := h.Sub(h); d.Count() != 0 || d.Mean() != 0 || d.Max() != 0 {
+		t.Errorf("Sub(self) = %s, want empty", d.Summary())
+	}
+}
+
+func TestHistogramSubUnderflow(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	for i := 0; i < 10; i++ {
+		h.Observe(4)
+	}
+	prev := h.Clone()
+	h.Reset() // source reset mid-window: counters went backwards
+	h.Observe(2)
+	d := h.Sub(prev)
+	if d.Count() != 1 {
+		t.Fatalf("underflow delta count = %d, want 1 (clamped, not wrapped)", d.Count())
+	}
+	if d.Mean() < 0 || d.Mean() > 2 {
+		t.Errorf("underflow delta mean = %g, want clamped into [0,2]", d.Mean())
+	}
+	// Fully-reset source with nothing new: the delta is empty.
+	h.Reset()
+	if d := h.Sub(prev); d.Count() != 0 || d.Sum() != 0 {
+		t.Errorf("post-reset delta = count %d sum %g, want 0 0", d.Count(), d.Sum())
+	}
+}
+
+func TestHistogramSubMismatchedLayout(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	h.Observe(2)
+	h.Observe(4)
+	for _, prev := range []*Histogram{
+		NewHistogram(1, 4, 8),  // different growth factor
+		NewHistogram(2, 2, 8),  // different min
+		NewHistogram(1, 2, 16), // different bucket count
+	} {
+		prev.Observe(2)
+		d := h.Sub(prev)
+		// Incomparable buckets: the window restarts from h, nothing subtracted.
+		if d.Count() != 2 {
+			t.Errorf("mismatched-layout delta count = %d, want 2 (full restart)", d.Count())
+		}
+	}
+}
+
+func TestHistogramSubRejectedPropagation(t *testing.T) {
+	h := NewHistogram(1, 2, 8)
+	h.Observe(-1)
+	h.Observe(-2)
+	prev := h.Clone()
+	if prev.Rejected() != 2 {
+		t.Fatalf("clone rejected = %d, want 2", prev.Rejected())
+	}
+	h.Observe(-3)
+	h.Observe(5)
+	if d := h.Sub(prev); d.Rejected() != 1 {
+		t.Errorf("delta rejected = %d, want 1 (3 lifetime - 2 in prev)", d.Rejected())
+	}
+	// Underflowed rejected (source Reset) clamps like the buckets do.
+	h.Reset()
+	if d := h.Sub(prev); d.Rejected() != 0 {
+		t.Errorf("post-reset delta rejected = %d, want 0", d.Rejected())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"netcache/internal/controller"
 	"netcache/internal/dataplane"
 	"netcache/internal/netproto"
+	"netcache/internal/stats"
 	"netcache/internal/switchcore"
 )
 
@@ -144,12 +145,44 @@ type SwitchConfig struct {
 	// each worker pushes frames through the switch independently — the
 	// userspace analogue of the ASIC's parallel pipes.
 	Workers int
+	// Registry, when set, receives one "server<addr>" metric source per
+	// learned storage server, counting the queries the switch actually
+	// forwarded to it (see ServerLoad). With balance.RegisterOn these feed
+	// the derived balance.* analytics — the residual-load view the paper's
+	// controller reasons about, live on the daemon's telemetry plane.
+	Registry *stats.Registry
 	// Logf receives operational messages; nil silences them.
 	Logf func(format string, args ...any)
 }
 
 // defaultDaemonWorkers is the read-loop pool size when Workers is zero.
 const defaultDaemonWorkers = 4
+
+// ServerLoad counts the queries the switch daemon actually forwarded to one
+// storage server — the residual load the cache did not absorb, which is the
+// quantity NetCache balances. Cache-hit reads are answered by the switch and
+// never reach these counters; rewritten writes (OpPutCached/OpDeleteCached)
+// count as the client op they carry.
+type ServerLoad struct {
+	Gets, Puts, Deletes stats.Counter
+}
+
+// observe classifies one egress frame bound for the server. Non-query
+// traffic on the same port (cache-update acks, replication) is not load
+// shed by the cache and is deliberately not counted.
+func (l *ServerLoad) observe(frame []byte) {
+	if len(frame) <= netproto.FrameOpOff {
+		return
+	}
+	switch netproto.Op(frame[netproto.FrameOpOff]) {
+	case netproto.OpGet:
+		l.Gets.Inc()
+	case netproto.OpPut, netproto.OpPutCached:
+		l.Puts.Inc()
+	case netproto.OpDelete, netproto.OpDeleteCached:
+		l.Deletes.Inc()
+	}
+}
 
 // SwitchDaemon is a running userspace NetCache switch.
 type SwitchDaemon struct {
@@ -162,7 +195,10 @@ type SwitchDaemon struct {
 	mu        sync.Mutex
 	portOf    map[netproto.Addr]int
 	endpoints map[int]*net.UDPAddr
-	nextPort  int
+	// loadOfPort holds forwarded-query counters for ports backed by a
+	// storage server (nil entry: port belongs to a client).
+	loadOfPort map[int]*ServerLoad
+	nextPort   int
 
 	rpcMu   sync.Mutex
 	rpcSeq  uint64
@@ -197,14 +233,15 @@ func NewSwitch(cfg SwitchConfig) (*SwitchDaemon, error) {
 		return nil, err
 	}
 	d := &SwitchDaemon{
-		cfg:       cfg,
-		sw:        sw,
-		conn:      conn,
-		logf:      logf,
-		portOf:    make(map[netproto.Addr]int),
-		endpoints: make(map[int]*net.UDPAddr),
-		pending:   make(map[uint64]chan netproto.Packet),
-		done:      make(chan struct{}),
+		cfg:        cfg,
+		sw:         sw,
+		conn:       conn,
+		logf:       logf,
+		portOf:     make(map[netproto.Addr]int),
+		endpoints:  make(map[int]*net.UDPAddr),
+		loadOfPort: make(map[int]*ServerLoad),
+		pending:    make(map[uint64]chan netproto.Packet),
+		done:       make(chan struct{}),
 	}
 	ctl, err := controller.New(controller.Config{
 		Switch: sw,
@@ -332,6 +369,7 @@ func (d *SwitchDaemon) transmit(out []dataplane.Emitted) {
 		port := out[i].Port
 		d.mu.Lock()
 		ep := d.endpoints[port]
+		load := d.loadOfPort[port]
 		d.mu.Unlock()
 		w := batchWriter{buf: bufpool.Get(), write: func(dg []byte) {
 			if _, err := d.conn.WriteToUDP(dg, ep); err != nil {
@@ -344,6 +382,9 @@ func (d *SwitchDaemon) transmit(out []dataplane.Emitted) {
 			}
 			if ep != nil { // else: emission toward a port never learned
 				w.add(out[j].Frame)
+				if load != nil {
+					load.observe(out[j].Frame)
+				}
 			}
 			dataplane.ReleaseFrame(out[j])
 			out[j] = dataplane.Emitted{}
@@ -370,11 +411,33 @@ func (d *SwitchDaemon) learn(addr netproto.Addr, from *net.UDPAddr) int {
 	d.nextPort++
 	d.portOf[addr] = p
 	d.endpoints[p] = from
+	if addr.IsServerHome() {
+		ld := &ServerLoad{}
+		d.loadOfPort[p] = ld
+		if d.cfg.Registry != nil {
+			// Named after the rack convention ("server<i>.gets" …) so the
+			// balance analytics pick the counters up unchanged.
+			d.cfg.Registry.Register(fmt.Sprintf("server%d", addr),
+				func() any { return ld })
+		}
+	}
 	if err := d.sw.InstallRoute(addr, p); err != nil {
 		d.logf("switch: route %v: %v", addr, err)
 	}
 	d.logf("switch: learned addr %d at %v (port %d)", addr, from, p)
 	return p
+}
+
+// ServerLoadOf returns the forwarded-query counters for the server learned
+// at addr (nil if no server with that address has been seen).
+func (d *SwitchDaemon) ServerLoadOf(addr netproto.Addr) *ServerLoad {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.portOf[addr]
+	if !ok {
+		return nil
+	}
+	return d.loadOfPort[p]
 }
 
 // handleCtl answers control requests addressed to the daemon and routes

@@ -9,9 +9,11 @@ import (
 	"testing"
 	"time"
 
+	"netcache/internal/balance"
 	"netcache/internal/client"
 	"netcache/internal/netproto"
 	"netcache/internal/server"
+	"netcache/internal/stats"
 	"netcache/internal/workload"
 )
 
@@ -26,11 +28,16 @@ type deployment struct {
 
 func deploy(t *testing.T, nServers int, cycle time.Duration) *deployment {
 	t.Helper()
-	d, err := NewSwitch(SwitchConfig{
+	return deployCfg(t, nServers, SwitchConfig{
 		Listen:        "127.0.0.1:0",
 		CacheCapacity: 64,
 		Cycle:         cycle,
 	})
+}
+
+func deployCfg(t *testing.T, nServers int, cfg SwitchConfig) *deployment {
+	t.Helper()
+	d, err := NewSwitch(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,5 +428,76 @@ func TestPortExhaustionDoesNotCrash(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("daemon unresponsive after port exhaustion")
 		}
+	}
+}
+
+func TestUDPDaemonServerLoadBalanceMetrics(t *testing.T) {
+	reg := stats.NewRegistry()
+	balance.RegisterOn(reg)
+	dep := deployCfg(t, 2, SwitchConfig{
+		Listen:        "127.0.0.1:0",
+		CacheCapacity: 64,
+		Cycle:         50 * time.Millisecond,
+		Registry:      reg,
+	})
+
+	// Seed a handful of keys (writes land on their partition owners), then
+	// read them back so both servers accumulate forwarded queries.
+	for i := 0; i < 10; i++ {
+		if err := dep.cli.Put(workload.KeyName(i), workload.ValueFor(i, 16)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 10; i++ {
+			if _, err := dep.cli.Get(workload.KeyName(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	for i := 1; i <= 2; i++ {
+		ld := dep.daemon.ServerLoadOf(netproto.Addr(i))
+		if ld == nil {
+			t.Fatalf("no load counters for server %d", i)
+		}
+		if ld.Gets.Value() == 0 && ld.Puts.Value() == 0 {
+			t.Errorf("server %d: no forwarded queries counted", i)
+		}
+	}
+	if dep.daemon.ServerLoadOf(0x8001) != nil {
+		t.Error("client address got server load counters")
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["server1.gets"]+snap.Counters["server2.gets"] == 0 {
+		t.Errorf("registry snapshot has no forwarded gets; keys = %v", snap.Keys())
+	}
+	if _, ok := snap.Gauges["balance.imbalance_ratio"]; !ok {
+		t.Errorf("no derived balance gauges; gauges = %v", snap.GaugeKeys())
+	}
+
+	// Once the controller promotes a hot key, reads stop adding to the
+	// owner's forwarded load — the cache absorbed them.
+	hot := workload.KeyName(3)
+	deadline := time.Now().Add(5 * time.Second)
+	for !dep.daemon.Controller().Cached(hot) {
+		if time.Now().After(deadline) {
+			t.Fatal("hot key never cached")
+		}
+		if _, err := dep.cli.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owner := netproto.Addr(client.PartitionOf(hot, 2) + 1)
+	ld := dep.daemon.ServerLoadOf(owner)
+	before := ld.Gets.Value()
+	for i := 0; i < 10; i++ {
+		if _, err := dep.cli.Get(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := ld.Gets.Value(); after != before {
+		t.Errorf("cached key still added %d forwarded reads", after-before)
 	}
 }

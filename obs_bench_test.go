@@ -2,9 +2,12 @@ package netcache
 
 import (
 	"testing"
+	"time"
 
 	"netcache/internal/dataplane"
 	"netcache/internal/rack"
+	"netcache/internal/stats"
+	"netcache/internal/telemetry"
 	"netcache/internal/workload"
 )
 
@@ -60,5 +63,49 @@ func BenchmarkObsTraceOffPipeline(b *testing.B) {
 func BenchmarkObsTraceOnPipeline(b *testing.B) {
 	r, frame, inPort := pipelineBenchRig(b)
 	r.EnableTrace(4096)
+	obsPipelineBench(b, r, frame, inPort)
+}
+
+// BenchmarkMonitorWindow measures one stats.Monitor poll over a populated
+// rack registry — the per-window cost of the rate engine (full counter
+// collection, histogram clone+subtract, delta/rate maps).
+func BenchmarkMonitorWindow(b *testing.B) {
+	r, err := rack.New(rack.Config{Servers: 4, Clients: 2, CacheCapacity: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.LoadDataset(64, 64)
+	if _, err := r.Client(0).Get(workload.KeyName(0)); err != nil {
+		b.Fatal(err)
+	}
+	mon := stats.NewMonitor(stats.MonitorConfig{Registry: r.Registry()})
+	mon.Poll()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := mon.Poll(); len(w.Rates) == 0 {
+			b.Fatal("empty window")
+		}
+	}
+}
+
+// BenchmarkTelemetryOffPipeline is the cache-hit GET pipeline path with no
+// telemetry plane attached — the baseline for the pair below.
+func BenchmarkTelemetryOffPipeline(b *testing.B) {
+	r, frame, inPort := pipelineBenchRig(b)
+	obsPipelineBench(b, r, frame, inPort)
+}
+
+// BenchmarkTelemetryOnPipeline is the same path with the full telemetry
+// plane live: a Monitor ticking at 1ms concurrently reads every counter
+// the pipeline writes, and the HTTP server is attached (exposition is
+// pull-based, so an unscraped endpoint costs nothing on the packet path).
+// Acceptance budget: within 5% of the telemetry-off baseline.
+func BenchmarkTelemetryOnPipeline(b *testing.B) {
+	r, frame, inPort := pipelineBenchRig(b)
+	mon := stats.NewMonitor(stats.MonitorConfig{Registry: r.Registry(), Interval: time.Millisecond})
+	mon.Start()
+	defer mon.Stop()
+	telemetry.New(telemetry.Config{Registry: r.Registry(), Monitor: mon})
 	obsPipelineBench(b, r, frame, inPort)
 }
